@@ -1,0 +1,319 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (§5), plus
+// the ablations DESIGN.md calls out. Each benchmark runs the relevant
+// experiment end to end and reports the reproduced quantities through
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the paper's
+// numbers in one sweep:
+//
+//	Table 1  → BenchmarkTable1_D1 .. _D5      (register/cap/buffer savings)
+//	Fig. 3   → BenchmarkFig3_WorkedExample    (worked-example ILP objective)
+//	Fig. 5   → BenchmarkFig5_BitWidths        (8-bit share before/after)
+//	Fig. 6   → BenchmarkFig6_ILPvsHeuristic   (ILP gain over the heuristic)
+//	§3 bound → BenchmarkAblationPartitionBound
+//	§3.2     → BenchmarkAblationWeights
+//	§3 inc.  → BenchmarkAblationIncompleteMBR
+//	runtime  → BenchmarkComposeOnly_D1        (the new steps' cost)
+//
+// benchScale divides the paper's design sizes; at the default the full
+// suite runs in well under a minute.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/paperex"
+	"repro/internal/sta"
+)
+
+const benchScale = 40
+
+func profileByName(name string) bench.Spec {
+	o := bench.ProfileOpts{Scale: benchScale}
+	switch name {
+	case "D1":
+		return bench.D1(o)
+	case "D2":
+		return bench.D2(o)
+	case "D3":
+		return bench.D3(o)
+	case "D4":
+		return bench.D4(o)
+	case "D5":
+		return bench.D5(o)
+	}
+	panic("unknown profile " + name)
+}
+
+func runFlowOnce(b *testing.B, spec bench.Spec, mutate func(*flow.Config)) *flow.Report {
+	b.Helper()
+	gen, err := bench.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := flow.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rep, err := flow.Run(gen.Design, gen.Plan, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+func pctDrop(base, ours int) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(base-ours) / float64(base)
+}
+
+// benchTable1 runs the full Fig. 4 flow on one design profile and reports
+// the Table 1 savings.
+func benchTable1(b *testing.B, name string) {
+	spec := profileByName(name)
+	var rep *flow.Report
+	for i := 0; i < b.N; i++ {
+		rep = runFlowOnce(b, spec, nil)
+	}
+	b.ReportMetric(pctDrop(rep.Base.TotalRegs, rep.Ours.TotalRegs), "regsave_%")
+	b.ReportMetric(pctDrop(rep.Base.CompRegs, rep.Ours.CompRegs), "compsave_%")
+	b.ReportMetric(100*(rep.Base.ClkCapPF-rep.Ours.ClkCapPF)/rep.Base.ClkCapPF, "clkcapsave_%")
+	b.ReportMetric(pctDrop(rep.Base.ClkBufs, rep.Ours.ClkBufs), "bufsave_%")
+	b.ReportMetric(float64(rep.Ours.FailingEndpoints-rep.Base.FailingEndpoints), "failEP_delta")
+	b.ReportMetric(float64(rep.Ours.OverflowEdges-rep.Base.OverflowEdges), "ovfl_delta")
+	b.ReportMetric(100*(rep.Base.WLClkMM+rep.Base.WLSigMM-rep.Ours.WLClkMM-rep.Ours.WLSigMM)/
+		(rep.Base.WLClkMM+rep.Base.WLSigMM), "wlsave_%")
+}
+
+func BenchmarkTable1_D1(b *testing.B) { benchTable1(b, "D1") }
+func BenchmarkTable1_D2(b *testing.B) { benchTable1(b, "D2") }
+func BenchmarkTable1_D3(b *testing.B) { benchTable1(b, "D3") }
+func BenchmarkTable1_D4(b *testing.B) { benchTable1(b, "D4") }
+func BenchmarkTable1_D5(b *testing.B) { benchTable1(b, "D5") }
+
+// BenchmarkFig3_WorkedExample reruns the Fig. 1-3 example and reports the
+// ILP objective with and without incomplete MBRs (5/3 and 31/30 under the
+// §3.2 weight formula).
+func BenchmarkFig3_WorkedExample(b *testing.B) {
+	var objComplete, objIncomplete float64
+	for i := 0; i < b.N; i++ {
+		for _, incomplete := range []bool{false, true} {
+			d, regs, err := paperex.Design(incomplete)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := paperex.Graph(d, regs)
+			opts := core.DefaultOptions()
+			opts.AllowIncomplete = incomplete
+			res, err := core.Compose(d, g, nil, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.RegsAfter != 3 {
+				b.Fatalf("worked example must end at 3 registers, got %d", res.RegsAfter)
+			}
+			if incomplete {
+				objIncomplete = res.ObjectiveSum
+			} else {
+				objComplete = res.ObjectiveSum
+			}
+		}
+	}
+	b.ReportMetric(objComplete, "obj_complete")
+	b.ReportMetric(objIncomplete, "obj_incomplete")
+}
+
+// BenchmarkFig5_BitWidths reports the 8-bit MBR share before and after
+// composition (the paper's "more 8-bit MBRs are used" observation) on D1.
+func BenchmarkFig5_BitWidths(b *testing.B) {
+	spec := profileByName("D1")
+	var before8, after8 float64
+	for i := 0; i < b.N; i++ {
+		gen, err := bench.Generate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hb := core.BitWidthHistogram(gen.Design)
+		if _, err := flow.Run(gen.Design, gen.Plan, flow.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+		ha := core.BitWidthHistogram(gen.Design)
+		before8 = share(hb, 8)
+		after8 = share(ha, 8)
+	}
+	b.ReportMetric(before8, "8bit_before_%")
+	b.ReportMetric(after8, "8bit_after_%")
+}
+
+func share(h map[int]int, bits int) float64 {
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(h[bits]) / float64(total)
+}
+
+// BenchmarkFig6_ILPvsHeuristic reports the ILP's average register-count
+// gain over the greedy mapping heuristic across all five designs.
+func BenchmarkFig6_ILPvsHeuristic(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		gain = 0
+		for _, name := range []string{"D1", "D2", "D3", "D4", "D5"} {
+			spec := profileByName(name)
+			ilp := runFlowOnce(b, spec, nil)
+			greedy := runFlowOnce(b, spec, func(cfg *flow.Config) {
+				cfg.Compose.Method = core.MethodGreedy
+			})
+			gain += 100 * float64(greedy.Ours.TotalRegs-ilp.Ours.TotalRegs) /
+				float64(greedy.Ours.TotalRegs)
+		}
+		gain /= 5
+	}
+	b.ReportMetric(gain, "ilp_gain_%")
+}
+
+// BenchmarkAblationPartitionBound sweeps the §3 subgraph bound and reports
+// the QoR (registers after) at each setting as sub-benchmarks.
+func BenchmarkAblationPartitionBound(b *testing.B) {
+	spec := profileByName("D1")
+	for _, bound := range []int{10, 20, 30, 50} {
+		b.Run(benchName("bound", bound), func(b *testing.B) {
+			var rep *flow.Report
+			for i := 0; i < b.N; i++ {
+				rep = runFlowOnce(b, spec, func(cfg *flow.Config) {
+					cfg.Compose.MaxSubgraphNodes = bound
+				})
+			}
+			b.ReportMetric(float64(rep.Ours.TotalRegs), "regs_after")
+			b.ReportMetric(float64(rep.Compose.Candidates), "candidates")
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblationWeights compares the §3.2 weights against unit weights:
+// the register counts are close, but the unweighted ILP pays in overflow
+// edges and legalization disturbance.
+func BenchmarkAblationWeights(b *testing.B) {
+	spec := profileByName("D2")
+	for _, weights := range []bool{true, false} {
+		name := "weighted"
+		if !weights {
+			name = "unit"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rep *flow.Report
+			for i := 0; i < b.N; i++ {
+				rep = runFlowOnce(b, spec, func(cfg *flow.Config) {
+					cfg.Compose.UseWeights = weights
+				})
+			}
+			b.ReportMetric(float64(rep.Ours.TotalRegs), "regs_after")
+			b.ReportMetric(float64(rep.Ours.OverflowEdges-rep.Base.OverflowEdges), "ovfl_delta")
+			b.ReportMetric(float64(rep.Compose.LegalizationMoved), "legal_moved")
+		})
+	}
+}
+
+// BenchmarkAblationIncompleteMBR sweeps the incomplete-MBR admission rule.
+func BenchmarkAblationIncompleteMBR(b *testing.B) {
+	spec := profileByName("D2")
+	type mode struct {
+		name     string
+		allow    bool
+		overhead float64
+	}
+	for _, m := range []mode{
+		{"off", false, 0},
+		{"cap5pct", true, 0.05},
+		{"cap30pct", true, 0.30},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			var rep *flow.Report
+			for i := 0; i < b.N; i++ {
+				rep = runFlowOnce(b, spec, func(cfg *flow.Config) {
+					cfg.Compose.AllowIncomplete = m.allow
+					cfg.Compose.IncompleteAreaOverhead = m.overhead
+				})
+			}
+			b.ReportMetric(float64(rep.Ours.TotalRegs), "regs_after")
+			b.ReportMetric(float64(rep.Compose.IncompleteMBRs), "incomplete_mbrs")
+			b.ReportMetric(rep.Ours.AreaUM2, "area_um2")
+		})
+	}
+}
+
+// BenchmarkAblationDecompose evaluates the paper's future-work idea (§5):
+// decomposing the initial 8-bit MBRs before recomposition, on the 8-bit-
+// rich D4 profile where the paper predicts it helps most.
+func BenchmarkAblationDecompose(b *testing.B) {
+	spec := profileByName("D4")
+	for _, decompose := range []bool{false, true} {
+		name := "skip8bit"
+		if decompose {
+			name = "decompose"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rep *flow.Report
+			for i := 0; i < b.N; i++ {
+				rep = runFlowOnce(b, spec, func(cfg *flow.Config) {
+					cfg.DecomposeExisting = decompose
+				})
+			}
+			b.ReportMetric(float64(rep.Ours.TotalRegs), "regs_after")
+			b.ReportMetric(rep.Ours.ClkCapPF, "clkcap_pF")
+			b.ReportMetric(float64(rep.DecomposedMBRs), "decomposed")
+		})
+	}
+}
+
+// BenchmarkComposeOnly_D1 isolates the cost of the new steps (candidate
+// enumeration + weighting + ILP + mapping + placement LP), the quantity
+// behind the paper's "Exec. Time" column.
+func BenchmarkComposeOnly_D1(b *testing.B) {
+	spec := profileByName("D1")
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		gen, err := bench.Generate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := sta.New(gen.Design)
+		eng.SetIdealClocks(true)
+		res, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := compat.Build(gen.Design, res, gen.Plan, compat.DefaultOptions())
+		b.StartTimer()
+		if _, err := core.Compose(gen.Design, g, gen.Plan, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

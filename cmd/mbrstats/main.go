@@ -1,0 +1,189 @@
+// Command mbrstats reports the composition-relevant statistics of a design
+// without modifying it: register counts by width and class, compatibility
+// graph size and exclusion reasons, clock domain population, scan chain
+// shapes, timing summary, and clock network metrics.
+//
+//	mbrstats -profile D1
+//	mbrstats -design d1.json -scan d1.scan.json
+//	benchgen -profile D3 -out /dev/stdout | mbrstats -design /dev/stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/compat"
+	"repro/internal/cts"
+	"repro/internal/lib"
+	"repro/internal/netlist"
+	"repro/internal/route"
+	"repro/internal/scan"
+	"repro/internal/sta"
+)
+
+func main() {
+	var (
+		profile    = flag.String("profile", "", "built-in profile: D1..D5")
+		scale      = flag.Int("scale", bench.DefaultScale, "profile scale divisor")
+		designPath = flag.String("design", "", "design JSON (alternative to -profile)")
+		scanPath   = flag.String("scan", "", "scan plan JSON (with -design)")
+	)
+	flag.Parse()
+
+	var (
+		d    *netlist.Design
+		plan *scan.Plan
+	)
+	switch {
+	case *designPath != "":
+		f, err := os.Open(*designPath)
+		if err != nil {
+			fatal(err)
+		}
+		d, err = netlist.ReadJSON(f, lib.MustGenerateDefault())
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		plan = scan.NewPlan()
+		if *scanPath != "" {
+			sf, err := os.Open(*scanPath)
+			if err != nil {
+				fatal(err)
+			}
+			plan, err = scan.ReadJSON(sf, d)
+			sf.Close()
+			if err != nil {
+				fatal(err)
+			}
+		}
+	case *profile != "":
+		o := bench.ProfileOpts{Scale: *scale}
+		var spec bench.Spec
+		switch *profile {
+		case "D1":
+			spec = bench.D1(o)
+		case "D2":
+			spec = bench.D2(o)
+		case "D3":
+			spec = bench.D3(o)
+		case "D4":
+			spec = bench.D4(o)
+		case "D5":
+			spec = bench.D5(o)
+		default:
+			fatal(fmt.Errorf("unknown profile %q", *profile))
+		}
+		res, err := bench.Generate(spec)
+		if err != nil {
+			fatal(err)
+		}
+		d, plan = res.Design, res.Plan
+	default:
+		fmt.Fprintln(os.Stderr, "need -profile or -design")
+		os.Exit(2)
+	}
+
+	fmt.Printf("design %s\n", d.Name)
+	fmt.Printf("  core %v, %d instances, %d nets, area %.0f µm²\n",
+		d.Core, d.NumInsts(), d.NumNets(), float64(d.TotalArea())/1e6)
+
+	// Registers by width and class.
+	regs := d.Registers()
+	byWidth := map[int]int{}
+	byClass := map[string]int{}
+	for _, r := range regs {
+		byWidth[r.Bits()]++
+		byClass[r.RegCell.Class.Key()]++
+	}
+	fmt.Printf("\nregisters: %d total\n", len(regs))
+	var widths []int
+	for w := range byWidth {
+		widths = append(widths, w)
+	}
+	sort.Ints(widths)
+	for _, w := range widths {
+		fmt.Printf("  %d-bit: %d\n", w, byWidth[w])
+	}
+	var classes []string
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Println("by functional class:")
+	for _, c := range classes {
+		fmt.Printf("  %-40s %d\n", c, byClass[c])
+	}
+
+	// Timing + compatibility.
+	eng := sta.New(d)
+	eng.SetIdealClocks(true)
+	res, err := eng.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\ntiming (ideal clocks, period %.0f ps):\n", d.Timing.ClockPeriod)
+	fmt.Printf("  WNS %.1f ps, TNS %.2f ns, failing %d / %d endpoints\n",
+		res.WNS, -res.TNS/1000, res.FailingEndpoints, res.TotalEndpoints)
+
+	g := compat.Build(d, res, plan, compat.DefaultOptions())
+	st := g.Stats()
+	fmt.Printf("\ncompatibility graph: %d composable of %d registers, %d edges\n",
+		st.ComposableRegs, st.TotalRegs, st.Edges)
+	var reasons []string
+	for why := range st.ExcludedByWhy {
+		reasons = append(reasons, string(why))
+	}
+	sort.Strings(reasons)
+	for _, why := range reasons {
+		fmt.Printf("  excluded (%s): %d\n", why, st.ExcludedByWhy[compat.NotComposableReason(why)])
+	}
+
+	// Clock domains.
+	fmt.Println("\nclock domains:")
+	domains := map[netlist.NetID]int{}
+	for _, r := range regs {
+		domains[d.ClockNet(r)]++
+	}
+	var domIDs []netlist.NetID
+	for id := range domains {
+		domIDs = append(domIDs, id)
+	}
+	sort.Slice(domIDs, func(i, j int) bool { return domIDs[i] < domIDs[j] })
+	for _, id := range domIDs {
+		name := "<unclocked>"
+		if n := d.Net(id); n != nil {
+			name = n.Name
+		}
+		fmt.Printf("  %-16s %d sinks\n", name, domains[id])
+	}
+	cm := cts.Measure(d)
+	fmt.Printf("clock network: %d buffers, %.2f pF, %.2f mm\n",
+		cm.Buffers, cm.TotalCapFF/1000, float64(cm.WirelengthDBU)/1e6)
+
+	// Scan chains.
+	if chains := plan.Chains(); len(chains) > 0 {
+		fmt.Printf("\nscan: %d chains\n", len(chains))
+		for _, c := range chains {
+			ord := ""
+			if c.Ordered {
+				ord = " (ordered)"
+			}
+			fmt.Printf("  chain %d: partition %d, %d registers%s\n",
+				c.ID, c.Partition, len(c.Regs), ord)
+		}
+	}
+
+	// Congestion.
+	m := route.Estimate(d, route.DefaultOptions())
+	fmt.Printf("\ncongestion: %d overflow edges, max util %.2f, avg util %.2f\n",
+		m.OverflowEdges(), m.MaxUtilization(), m.AvgUtilization())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

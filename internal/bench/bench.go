@@ -1,0 +1,618 @@
+// Package bench generates synthetic placed designs standing in for the
+// paper's five 28nm industrial benchmarks (Table 1, rows "Base"). The
+// generator is seeded and deterministic; each design profile (D1–D5) is
+// calibrated to the corresponding Base row's *shape*: register count
+// relative to cell count, composable fraction, pre-existing MBR bit-width
+// mix (Fig. 5 "before"), clock gating, scan organization and placement
+// clustering. Counts are scaled down (configurable) so the full flow runs
+// in seconds rather than the hour-per-design of the paper's testbed.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/lib"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/scan"
+)
+
+// Spec parameterizes one synthetic benchmark.
+type Spec struct {
+	Name string
+	Seed int64
+	// NumRegs is the number of register instances to create.
+	NumRegs int
+	// CombPerReg is the ratio of combinational cells to register instances
+	// (industrial designs run ~25-65 cells per register; we keep the
+	// composition-relevant density and scale the sea of gates down).
+	CombPerReg float64
+	// WidthMix gives the fraction of register instances per bit width
+	// (Fig. 5 "before"); fractions are normalized internally.
+	WidthMix map[int]float64
+	// NonComposableFrac is the fraction of registers marked fixed/size-only
+	// or mapped to classes without larger library MBRs (Table 1's gap
+	// between Total-Regs and Comp-Regs).
+	NonComposableFrac float64
+	// ClusterSize controls placement clustering of compatible registers
+	// (registers are generated in same-class clusters of roughly this many
+	// instances placed near one another).
+	ClusterSize int
+	// GateGroups is the number of clock-gating domains (0 = ungated).
+	GateGroups int
+	// ScanChains is the number of scan chains (0 = no scan).
+	ScanChains int
+	// OrderedChainFrac is the fraction of chains that are ordered sections.
+	OrderedChainFrac float64
+	// TargetUtil is the placement utilization the core is sized for.
+	TargetUtil float64
+	// ClockPeriodPS is the timing constraint.
+	ClockPeriodPS float64
+	// SlackGradientDBU stretches each bank's cone wiring by this much per
+	// bit index, giving the bank a systematic slack gradient (as real
+	// datapaths have: bit 0 of a bus rarely times like bit 31). A gradient
+	// turns each bank's compatibility structure from a complete clique
+	// into overlapping windows — the structure that separates exact-cover
+	// selection from greedy heuristics.
+	SlackGradientDBU int64
+}
+
+// Result carries the generated design and its scan plan.
+type Result struct {
+	Design *netlist.Design
+	Plan   *scan.Plan
+}
+
+// combLib is the small combinational cell set used for the logic fabric.
+var combLib = []*netlist.CombSpec{
+	{Name: "INV_X1", NumInputs: 1, DriveRes: 5, Intrinsic: 12, InCap: 0.5, Width: 400, Height: 1200},
+	{Name: "NAND2_X1", NumInputs: 2, DriveRes: 5.5, Intrinsic: 16, InCap: 0.6, Width: 600, Height: 1200},
+	{Name: "NOR2_X1", NumInputs: 2, DriveRes: 6.0, Intrinsic: 18, InCap: 0.6, Width: 600, Height: 1200},
+	{Name: "AOI22_X1", NumInputs: 4, DriveRes: 6.5, Intrinsic: 24, InCap: 0.7, Width: 900, Height: 1200},
+	{Name: "BUF_X2", NumInputs: 1, DriveRes: 3, Intrinsic: 20, InCap: 0.8, Width: 600, Height: 1200},
+}
+
+var gateSpec = &netlist.CombSpec{
+	Name: "ICG_X4", NumInputs: 2, DriveRes: 2, Intrinsic: 25, InCap: 1.8,
+	Width: 1000, Height: 1200,
+}
+
+// Generate builds the design described by the spec: clustered registers of
+// mixed widths, a random combinational fabric connecting them, clock
+// distribution with optional gating, scan chains, and a legalized
+// placement.
+func Generate(spec Spec) (*Result, error) {
+	if spec.NumRegs <= 0 {
+		return nil, fmt.Errorf("bench: NumRegs must be positive")
+	}
+	if spec.TargetUtil <= 0 || spec.TargetUtil >= 1 {
+		spec.TargetUtil = 0.55
+	}
+	if spec.ClusterSize <= 0 {
+		spec.ClusterSize = 12
+	}
+	if spec.ClockPeriodPS == 0 {
+		spec.ClockPeriodPS = 1400
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	l := lib.MustGenerateDefault()
+
+	// Estimate area to size the core.
+	nComb := int(float64(spec.NumRegs) * spec.CombPerReg)
+	regArea := estimateRegArea(l, spec)
+	var combArea int64
+	for i := 0; i < nComb; i++ {
+		cs := combLib[i%len(combLib)]
+		combArea += cs.Area()
+	}
+	totalArea := float64(regArea + combArea)
+	coreSide := int64(math.Sqrt(totalArea/spec.TargetUtil)) + 1
+	rowH := int64(1200)
+	coreSide = (coreSide/rowH + 2) * rowH
+	core := geom.RectWH(0, 0, coreSide, coreSide)
+
+	d := netlist.NewDesign(spec.Name, core, l)
+	d.SiteW = 100
+	d.RowH = rowH
+	d.Timing = netlist.TimingSpec{
+		ClockPeriod:     spec.ClockPeriodPS,
+		WireCapPerDBU:   0.0002,
+		WireDelayPerDBU: 0.004,
+		InputDelay:      spec.ClockPeriodPS * 0.1,
+		OutputDelay:     spec.ClockPeriodPS * 0.1,
+	}
+
+	// Clock source and gating domains.
+	clkPort, err := d.AddPort("clk", true, geom.Point{X: core.Lo.X, Y: core.Center().Y})
+	if err != nil {
+		return nil, err
+	}
+	rootClk := d.AddNet("clk", true)
+	d.Connect(d.OutPin(clkPort), rootClk)
+	clockNets := []*netlist.Net{rootClk}
+	for gi := 0; gi < spec.GateGroups; gi++ {
+		gate, err := d.AddClockGate(fmt.Sprintf("icg_%d", gi), gateSpec, randPoint(rng, core))
+		if err != nil {
+			return nil, err
+		}
+		d.Connect(d.Pin(gate.Pins[0]), rootClk) // clock input
+		gated := d.AddNet(fmt.Sprintf("clk_g%d", gi), true)
+		d.Connect(d.OutPin(gate), gated)
+		clockNets = append(clockNets, gated)
+	}
+
+	banks, err := generateRegisters(d, l, spec, rng, clockNets)
+	if err != nil {
+		return nil, err
+	}
+	var regs []*netlist.Inst
+	for _, b := range banks {
+		regs = append(regs, b...)
+	}
+	if err := generateFabric(d, spec, rng, banks, nComb); err != nil {
+		return nil, err
+	}
+	plan, err := generateScan(d, spec, rng, regs)
+	if err != nil {
+		return nil, err
+	}
+
+	lr := place.Legalize(d)
+	if len(lr.Failed) > 0 {
+		return nil, fmt.Errorf("bench: %d cells did not fit the core", len(lr.Failed))
+	}
+	// Mark the non-composable registers only after legalization, so fixed
+	// cells hold legal positions (as designer-fixed cells would). The
+	// marking is bank-granular: in practice whole modules are dont-touch,
+	// or a whole register file's class has no larger MBR — isolated fixed
+	// bits interleaved into otherwise-composable banks are rare.
+	for _, bank := range banks {
+		if rng.Float64() >= spec.NonComposableFrac {
+			continue
+		}
+		sizeOnly := rng.Intn(2) == 0
+		for _, r := range bank {
+			if sizeOnly {
+				r.SizeOnly = true
+			} else {
+				r.Fixed = true
+			}
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: generated design invalid: %w", err)
+	}
+	return &Result{Design: d, Plan: plan}, nil
+}
+
+func estimateRegArea(l *lib.Library, spec Spec) int64 {
+	class := lib.FuncClass{Kind: lib.FlipFlop, Reset: lib.AsyncReset, Scan: lib.InternalScan}
+	var area int64
+	for _, w := range widthSchedule(spec, rand.New(rand.NewSource(spec.Seed)))[:spec.NumRegs] {
+		area += l.CellsOfWidth(class, w)[0].Area
+	}
+	return area
+}
+
+// widthSchedule expands the width mix into a deterministic per-register
+// width assignment of length NumRegs (shuffled).
+func widthSchedule(spec Spec, rng *rand.Rand) []int {
+	mix := spec.WidthMix
+	if len(mix) == 0 {
+		mix = map[int]float64{1: 0.6, 2: 0.2, 4: 0.15, 8: 0.05}
+	}
+	var widths []int
+	for w := range mix {
+		widths = append(widths, w)
+	}
+	sort.Ints(widths)
+	var total float64
+	for _, w := range widths {
+		total += mix[w]
+	}
+	out := make([]int, 0, spec.NumRegs)
+	for _, w := range widths {
+		n := int(math.Round(mix[w] / total * float64(spec.NumRegs)))
+		for i := 0; i < n && len(out) < spec.NumRegs; i++ {
+			out = append(out, w)
+		}
+	}
+	for len(out) < spec.NumRegs {
+		out = append(out, widths[0])
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// regClasses are the functional classes registers are drawn from; variety
+// here creates the class-pure components the real flow sees.
+func regClasses() []lib.FuncClass {
+	return []lib.FuncClass{
+		{Kind: lib.FlipFlop, Reset: lib.AsyncReset, Scan: lib.InternalScan},
+		{Kind: lib.FlipFlop, Reset: lib.AsyncReset, Scan: lib.InternalScan, HasEnable: true},
+		{Kind: lib.FlipFlop, Reset: lib.NoReset, Scan: lib.InternalScan},
+		{Kind: lib.FlipFlop, Reset: lib.AsyncReset, Scan: lib.NoScan},
+	}
+}
+
+func randPoint(rng *rand.Rand, core geom.Rect) geom.Point {
+	return geom.Point{
+		X: core.Lo.X + int64(rng.Int63n(core.W())),
+		Y: core.Lo.Y + int64(rng.Int63n(core.H())),
+	}
+}
+
+// generateRegisters creates clustered registers, returned as banks. Each
+// bank shares a functional class, clock net (gating domain) and control
+// nets, and sits in a compact placement block — the situation MBR
+// composition exploits.
+func generateRegisters(
+	d *netlist.Design,
+	l *lib.Library,
+	spec Spec,
+	rng *rand.Rand,
+	clockNets []*netlist.Net,
+) ([][]*netlist.Inst, error) {
+	widths := widthSchedule(spec, rng)
+	classes := regClasses()
+	core := d.Core
+
+	// Shared control nets per (class, gate) combination.
+	rstNets := map[int]*netlist.Net{}
+	enNets := map[int]*netlist.Net{}
+	seNet := d.AddNet("scan_en", false)
+	sePort, err := d.AddPort("scan_en_port", true, geom.Point{X: core.Lo.X, Y: core.Lo.Y})
+	if err != nil {
+		return nil, err
+	}
+	d.Connect(d.OutPin(sePort), seNet)
+
+	// Banks are laid out along a sweeping cursor: single-row strips with
+	// random gaps, never overlapping one another. This is how placed
+	// register banks actually look, and it matters: the §3.2 weights can
+	// only tile banks whose test polygons are clean, and a legalizer
+	// shuffling piled-up banks would interleave them.
+	var banks [][]*netlist.Inst
+	idx := 0
+	cursorX := core.Lo.X + 2000
+	cursorY := core.Lo.Y + d.RowH
+	for idx < spec.NumRegs {
+		var bank []*netlist.Inst
+		k := spec.ClusterSize/2 + rng.Intn(spec.ClusterSize)
+		if idx+k > spec.NumRegs {
+			k = spec.NumRegs - idx
+		}
+		class := classes[rng.Intn(len(classes))]
+		gate := rng.Intn(len(clockNets))
+		// Estimated strip width for wrap decisions (8-bit cells dominate).
+		maxCellW := l.CellsOfWidth(class, 8)[len(l.CellsOfWidth(class, 8))-1].Width
+		if cursorX+int64(k)*maxCellW > core.Hi.X-2000 {
+			cursorX = core.Lo.X + 2000 + int64(rng.Intn(4000))
+			cursorY += d.RowH * int64(2+rng.Intn(2))
+			if cursorY >= core.Hi.Y-d.RowH {
+				cursorY = core.Lo.Y + d.RowH + int64(rng.Intn(3))*d.RowH
+			}
+		}
+		cx := cursorX
+		for i := 0; i < k; i++ {
+			w := widths[idx]
+			cells := l.CellsOfWidth(class, w)
+			cell := cells[rng.Intn(len(cells))]
+			pos := geom.Point{
+				X: clampI(cx, core.Lo.X, core.Hi.X-cell.Width),
+				Y: clampI(cursorY, core.Lo.Y, core.Hi.Y-cell.Height),
+			}
+			cx += cell.Width + 200
+			r, err := d.AddRegister(fmt.Sprintf("reg_%d", idx), cell, pos)
+			if err != nil {
+				return nil, err
+			}
+			r.GateGroup = gate - 1 // -1 for the ungated root domain
+			d.Connect(d.ClockPin(r), clockNets[gate])
+			if class.Reset != lib.NoReset {
+				rn, ok := rstNets[gate]
+				if !ok {
+					rn = d.AddNet(fmt.Sprintf("rst_%d", gate), false)
+					p, err := d.AddPort(fmt.Sprintf("rst_port_%d", gate), true,
+						geom.Point{X: core.Lo.X, Y: core.Lo.Y + int64(gate)*d.RowH})
+					if err != nil {
+						return nil, err
+					}
+					d.Connect(d.OutPin(p), rn)
+					rstNets[gate] = rn
+				}
+				d.Connect(d.FindPin(r, netlist.PinReset, 0), rn)
+			}
+			if class.HasEnable {
+				en, ok := enNets[gate]
+				if !ok {
+					en = d.AddNet(fmt.Sprintf("en_%d", gate), false)
+					p, err := d.AddPort(fmt.Sprintf("en_port_%d", gate), true,
+						geom.Point{X: core.Hi.X, Y: core.Lo.Y + int64(gate)*d.RowH})
+					if err != nil {
+						return nil, err
+					}
+					d.Connect(d.OutPin(p), en)
+					enNets[gate] = en
+				}
+				d.Connect(d.FindPin(r, netlist.PinEnable, 0), en)
+			}
+			if class.Scan != lib.NoScan {
+				d.Connect(d.FindPin(r, netlist.PinScanEnable, 0), seNet)
+			}
+			bank = append(bank, r)
+			idx++
+		}
+		cursorX = cx + int64(2000+rng.Intn(12000))
+		banks = append(banks, bank)
+	}
+	return banks, nil
+}
+
+func clampI(v, lo, hi int64) int64 {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// generateFabric builds the combinational fabric as bank-to-bank
+// datapaths: every register bank receives its D cones from one source bank
+// (bits assigned round-robin), through a gate placed between the banks.
+// Bits of the same bank therefore see correlated path delays — the same
+// structure real datapath registers have, and the reason whole banks are
+// timing compatible (§2). Leftover comb budget becomes extra fanout loads.
+func generateFabric(
+	d *netlist.Design,
+	spec Spec,
+	rng *rand.Rand,
+	banks [][]*netlist.Inst,
+	nComb int,
+) error {
+	core := d.Core
+	// Pre-create Q nets for all registers.
+	type bitRef struct {
+		q   *netlist.Pin
+		pos geom.Point
+	}
+	bankBits := make([][]bitRef, len(banks))
+	var allBits []bitRef
+	for bi, bank := range banks {
+		for _, r := range bank {
+			for b := 0; b < r.Bits(); b++ {
+				q := d.QPin(r, b)
+				qn := d.AddNet(fmt.Sprintf("q_%s_%d", r.Name, b), false)
+				d.Connect(q, qn)
+				ref := bitRef{q, d.PinPos(q)}
+				bankBits[bi] = append(bankBits[bi], ref)
+				allBits = append(allBits, ref)
+			}
+		}
+	}
+	// Input ports feed the first banks.
+	nPorts := len(banks)/8 + 4
+	var inPorts []*netlist.Pin
+	for i := 0; i < nPorts; i++ {
+		p, err := d.AddPort(fmt.Sprintf("in_%d", i), true,
+			geom.Point{X: core.Lo.X, Y: core.Lo.Y + core.H()*int64(i)/int64(nPorts)})
+		if err != nil {
+			return err
+		}
+		pn := d.AddNet(fmt.Sprintf("inet_%d", i), false)
+		d.Connect(d.OutPin(p), pn)
+		inPorts = append(inPorts, d.OutPin(p))
+	}
+
+	combBudget := nComb
+	ci := 0
+	newComb := func(pos geom.Point) (*netlist.Inst, error) {
+		spec := combLib[rng.Intn(len(combLib))]
+		in, err := d.AddComb(fmt.Sprintf("u%d", ci), spec, pos)
+		ci++
+		combBudget--
+		return in, err
+	}
+
+	bankCenter := func(bi int) geom.Point {
+		var sx, sy int64
+		for _, r := range banks[bi] {
+			c := r.Center()
+			sx += c.X
+			sy += c.Y
+		}
+		n := int64(len(banks[bi]))
+		return geom.Point{X: sx / n, Y: sy / n}
+	}
+
+	// Pick a source bank per destination bank: geometrically near, earlier
+	// banks may also read from ports.
+	for bi, bank := range banks {
+		var srcBits []bitRef
+		if bi == 0 || rng.Intn(10) == 0 {
+			for _, p := range inPorts {
+				srcBits = append(srcBits, bitRef{p, d.PinPos(p)})
+			}
+		} else {
+			// Nearest of a few random earlier banks.
+			c := bankCenter(bi)
+			best := -1
+			var bestDist int64
+			for t := 0; t < 6; t++ {
+				cand := rng.Intn(bi)
+				dist := bankCenter(cand).ManhattanDist(c)
+				if best == -1 || dist < bestDist {
+					best, bestDist = cand, dist
+				}
+			}
+			srcBits = bankBits[best]
+			if len(srcBits) == 0 {
+				for _, p := range inPorts {
+					srcBits = append(srcBits, bitRef{p, d.PinPos(p)})
+				}
+			}
+		}
+		destBits := 0
+		for _, r := range bank {
+			destBits += r.Bits()
+		}
+		k := 0
+		for _, r := range bank {
+			for b := 0; b < r.Bits(); b++ {
+				dp := d.DPin(r, b)
+				// Order-aligned bit mapping: both strips run left to right,
+				// so bit k reads from the proportionally matching source
+				// bit. This keeps the per-bit wire lengths of a bank within
+				// a few k-DBU of each other — the slack correlation that
+				// makes real datapath banks timing compatible (§2). A
+				// modulo mapping instead would wrap across the source
+				// strip and spread bank slacks by the strip's full width.
+				src := srcBits[k*len(srcBits)/destBits]
+				mid := geom.Point{
+					X: (d.PinPos(dp).X+src.pos.X)/2 + int64(k)*spec.SlackGradientDBU,
+					Y: (d.PinPos(dp).Y + src.pos.Y) / 2,
+				}
+				k++
+				g1, err := newComb(jitter(rng, mid, 2000, core))
+				if err != nil {
+					return err
+				}
+				dn := d.AddNet(fmt.Sprintf("d_%s_%d", r.Name, b), false)
+				d.Connect(d.OutPin(g1), dn)
+				d.Connect(dp, dn)
+				for _, pid := range g1.Pins {
+					p := d.Pin(pid)
+					if p.Dir == netlist.DirIn {
+						d.Connect(p, d.Net(src.q.Net))
+					}
+				}
+			}
+		}
+	}
+	// First give every sink-less Q bit a real load (otherwise its Q slack
+	// is unconstrained, making the whole register timing-incompatible with
+	// its constrained bank mates), then spend the remaining comb budget as
+	// extra fanout loads, one whole bank at a time so bank symmetry holds.
+	loadBit := func(s bitRef) error {
+		g, err := newComb(jitter(rng, s.pos, 5000, core))
+		if err != nil {
+			return err
+		}
+		for _, pid := range g.Pins {
+			p := d.Pin(pid)
+			if p.Dir == netlist.DirIn {
+				d.Connect(p, d.Net(s.q.Net))
+			}
+		}
+		on := d.AddNet(fmt.Sprintf("o_%d", ci), false)
+		d.Connect(d.OutPin(g), on)
+		return nil
+	}
+	for _, s := range allBits {
+		if len(d.Net(s.q.Net).Sinks) == 0 {
+			if err := loadBit(s); err != nil {
+				return err
+			}
+		}
+	}
+	for bi := 0; combBudget > 0 && len(allBits) > 0; bi++ {
+		for _, s := range bankBits[bi%len(banks)] {
+			if combBudget <= 0 {
+				break
+			}
+			if err := loadBit(s); err != nil {
+				return err
+			}
+		}
+	}
+	// Terminate floating comb outputs at output ports so endpoint counts
+	// are realistic and the load gates constrain their Q sources.
+	oi := 0
+	maxPorts := len(allBits)/2 + 100
+	d.Nets(func(n *netlist.Net) {
+		if n.IsClock || n.Driver == netlist.NoID || len(n.Sinks) > 0 {
+			return
+		}
+		if oi >= maxPorts {
+			return
+		}
+		// Pad on the near edge, at the driver's y, so the pad wire adds a
+		// uniform delay instead of a per-bit lottery.
+		y := core.Center().Y
+		if n.Driver != netlist.NoID {
+			y = d.PinPos(d.Pin(n.Driver)).Y
+		}
+		p, err := d.AddPort(fmt.Sprintf("out_%d", oi), false,
+			geom.Point{X: core.Hi.X, Y: y})
+		if err != nil {
+			return
+		}
+		d.Connect(d.FindPin(p, netlist.PinData, 0), n)
+		oi++
+	})
+	return nil
+}
+
+func jitter(rng *rand.Rand, p geom.Point, r int64, core geom.Rect) geom.Point {
+	return geom.Point{
+		X: clampI(p.X+int64(rng.Int63n(2*r))-r, core.Lo.X, core.Hi.X-1000),
+		Y: clampI(p.Y+int64(rng.Int63n(2*r))-r, core.Lo.Y, core.Hi.Y-1200),
+	}
+}
+
+// generateScan builds chains over the scannable registers, grouped
+// geographically (as production DFT insertion does), with a fraction of
+// ordered sections.
+func generateScan(
+	d *netlist.Design,
+	spec Spec,
+	rng *rand.Rand,
+	regs []*netlist.Inst,
+) (*scan.Plan, error) {
+	plan := scan.NewPlan()
+	if spec.ScanChains <= 0 {
+		return plan, nil
+	}
+	var scannable []*netlist.Inst
+	for _, r := range regs {
+		if r.RegCell.Class.Scan != lib.NoScan {
+			scannable = append(scannable, r)
+		}
+	}
+	if len(scannable) == 0 {
+		return plan, nil
+	}
+	// regs arrives in bank order; keeping that order makes chains follow
+	// banks (as DFT insertion on a placed hierarchical design does), so a
+	// bank rarely straddles a chain/partition boundary.
+	per := (len(scannable) + spec.ScanChains - 1) / spec.ScanChains
+	for c := 0; c < spec.ScanChains; c++ {
+		lo := c * per
+		if lo >= len(scannable) {
+			break
+		}
+		hi := lo + per
+		if hi > len(scannable) {
+			hi = len(scannable)
+		}
+		ids := make([]netlist.InstID, 0, hi-lo)
+		for _, r := range scannable[lo:hi] {
+			ids = append(ids, r.ID)
+			r.ScanPartition = c
+		}
+		ordered := rng.Float64() < spec.OrderedChainFrac
+		if _, err := plan.AddChain(c, ordered, ids); err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}

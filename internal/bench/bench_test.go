@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/lib"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		Name: "T", Seed: 1,
+		NumRegs:           200,
+		CombPerReg:        4,
+		WidthMix:          map[int]float64{1: 0.5, 2: 0.25, 4: 0.15, 8: 0.1},
+		NonComposableFrac: 0.3,
+		ClusterSize:       10,
+		GateGroups:        3,
+		ScanChains:        4,
+		OrderedChainFrac:  0.25,
+		TargetUtil:        0.5,
+		ClockPeriodPS:     1400,
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	res, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Design
+	regs := d.Registers()
+	if len(regs) != 200 {
+		t.Fatalf("registers = %d want 200", len(regs))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v := place.CheckLegal(d); len(v) != 0 {
+		t.Fatalf("placement violations: %d (first: %v)", len(v), v[0])
+	}
+	if err := res.Plan.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Design.NumInsts() != b.Design.NumInsts() || a.Design.NumNets() != b.Design.NumNets() {
+		t.Fatal("generation must be deterministic")
+	}
+	ra, rb := a.Design.Registers(), b.Design.Registers()
+	for i := range ra {
+		if ra[i].Name != rb[i].Name || ra[i].Pos != rb[i].Pos || ra[i].RegCell.Name != rb[i].RegCell.Name {
+			t.Fatalf("register %d differs between runs", i)
+		}
+	}
+}
+
+func TestWidthMixRealized(t *testing.T) {
+	res, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := map[int]int{}
+	for _, r := range res.Design.Registers() {
+		hist[r.Bits()]++
+	}
+	if hist[1] < 80 || hist[1] > 120 {
+		t.Fatalf("1-bit count %d far from 100", hist[1])
+	}
+	if hist[8] < 10 || hist[8] > 30 {
+		t.Fatalf("8-bit count %d far from 20", hist[8])
+	}
+}
+
+func TestNonComposableFraction(t *testing.T) {
+	res, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := 0
+	for _, r := range res.Design.Registers() {
+		if r.Fixed || r.SizeOnly {
+			fixed++
+		}
+	}
+	// 30% requested at bank granularity (~20 banks of ~10): wide binomial
+	// noise allowed.
+	if fixed < 10 || fixed > 120 {
+		t.Fatalf("fixed/size-only = %d want ≈ 60", fixed)
+	}
+}
+
+func TestEveryRegisterClockedAndDriven(t *testing.T) {
+	res, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Design
+	for _, r := range d.Registers() {
+		cp := d.ClockPin(r)
+		if cp == nil || cp.Net == netlist.NoID {
+			t.Fatalf("register %s unclocked", r.Name)
+		}
+		for b := 0; b < r.Bits(); b++ {
+			dp := d.DPin(r, b)
+			if dp.Net == netlist.NoID {
+				t.Fatalf("register %s bit %d undriven", r.Name, b)
+			}
+			n := d.Net(dp.Net)
+			if n.Driver == netlist.NoID {
+				t.Fatalf("register %s bit %d net driverless", r.Name, b)
+			}
+		}
+	}
+}
+
+func TestScanChainsCoverScannable(t *testing.T) {
+	res, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	onChain := map[netlist.InstID]bool{}
+	for _, c := range res.Plan.Chains() {
+		for _, id := range c.Regs {
+			onChain[id] = true
+		}
+	}
+	for _, r := range res.Design.Registers() {
+		isScan := r.RegCell.Class.Scan != lib.NoScan
+		if isScan && !onChain[r.ID] {
+			t.Fatalf("scannable register %s not on a chain", r.Name)
+		}
+		if !isScan && onChain[r.ID] {
+			t.Fatalf("non-scan register %s on a chain", r.Name)
+		}
+	}
+	if len(res.Plan.Chains()) == 0 {
+		t.Fatal("expected scan chains")
+	}
+}
+
+func TestGateGroupsAssigned(t *testing.T) {
+	res, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := map[int]int{}
+	for _, r := range res.Design.Registers() {
+		groups[r.GateGroup]++
+	}
+	if len(groups) < 2 {
+		t.Fatalf("expected multiple gating groups, got %v", groups)
+	}
+}
+
+func TestProfilesGenerate(t *testing.T) {
+	// Heavier: generate every profile at high scale-down.
+	for _, spec := range All(ProfileOpts{Scale: 100}) {
+		res, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if err := res.Design.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		regs := res.Design.Registers()
+		if len(regs) == 0 {
+			t.Fatalf("%s: no registers", spec.Name)
+		}
+	}
+}
+
+func TestD4IsMBRRich(t *testing.T) {
+	o := ProfileOpts{Scale: 50}
+	gen := func(s Spec) float64 {
+		res, err := Generate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist := map[int]int{}
+		total := 0
+		for _, r := range res.Design.Registers() {
+			hist[r.Bits()]++
+			total++
+		}
+		return float64(hist[8]) / float64(total)
+	}
+	if f4, f1 := gen(D4(o)), gen(D1(o)); f4 <= f1 {
+		t.Fatalf("D4 8-bit fraction (%.2f) must exceed D1's (%.2f)", f4, f1)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{}); err == nil {
+		t.Fatal("zero NumRegs must fail")
+	}
+}

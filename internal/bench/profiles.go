@@ -1,0 +1,135 @@
+package bench
+
+// Design profiles calibrated to Table 1's "Base" rows. The paper's absolute
+// counts (0.87M–3.3M cells, 29k–50k registers) are divided by Scale so the
+// full flow runs in seconds on a laptop; all the ratios that drive the
+// optimization landscape are preserved:
+//
+//	design  regs/cells  comp/total  width mix character
+//	D1      29416/870k   62%        mixed, mid MBR richness
+//	D2      37401/1.23M  75%        most composable, many 1-2 bit
+//	D3      34519/1.47M  63%        mixed
+//	D4      50392/3.28M  44%        already rich in 8-bit MBRs (Fig. 5),
+//	                                improves least (§5)
+//	D5      34519/1.47M  63%        like D3 with more gating
+//
+// The paper's CombPerReg is ~30-65; we cap it at 6 — beyond the composition
+// region the sea of gates only adds constant background to area/wirelength,
+// and the scaled designs stay representative of the register landscape.
+
+// DefaultScale divides the paper's register counts for the default
+// profiles.
+const DefaultScale = 20
+
+// ProfileOpts adjusts profile generation.
+type ProfileOpts struct {
+	// Scale divides the paper's register counts (min 1).
+	Scale int
+}
+
+func scaled(n, scale int) int {
+	if scale < 1 {
+		scale = 1
+	}
+	v := n / scale
+	if v < 50 {
+		v = 50
+	}
+	return v
+}
+
+// D1 returns the D1-like profile.
+func D1(o ProfileOpts) Spec {
+	return Spec{
+		Name: "D1", Seed: 101,
+		NumRegs:           scaled(29416, o.Scale),
+		CombPerReg:        5,
+		WidthMix:          map[int]float64{1: 0.45, 2: 0.25, 4: 0.20, 8: 0.10},
+		NonComposableFrac: 0.38, // CompRegs 18332/29416
+		ClusterSize:       12,
+		GateGroups:        6,
+		ScanChains:        8,
+		OrderedChainFrac:  0.25,
+		TargetUtil:        0.55,
+		ClockPeriodPS:     1400,
+		SlackGradientDBU:  0,
+	}
+}
+
+// D2 returns the D2-like profile (most composable registers).
+func D2(o ProfileOpts) Spec {
+	return Spec{
+		Name: "D2", Seed: 202,
+		NumRegs:           scaled(37401, o.Scale),
+		CombPerReg:        5.5,
+		WidthMix:          map[int]float64{1: 0.55, 2: 0.25, 4: 0.15, 8: 0.05},
+		NonComposableFrac: 0.25, // CompRegs 27992/37401
+		ClusterSize:       14,
+		GateGroups:        8,
+		ScanChains:        10,
+		OrderedChainFrac:  0.2,
+		TargetUtil:        0.55,
+		ClockPeriodPS:     1500,
+		SlackGradientDBU:  0,
+	}
+}
+
+// D3 returns the D3-like profile.
+func D3(o ProfileOpts) Spec {
+	return Spec{
+		Name: "D3", Seed: 303,
+		NumRegs:           scaled(34519, o.Scale),
+		CombPerReg:        6,
+		WidthMix:          map[int]float64{1: 0.40, 2: 0.30, 4: 0.20, 8: 0.10},
+		NonComposableFrac: 0.37, // CompRegs 21880/34519
+		ClusterSize:       10,
+		GateGroups:        5,
+		ScanChains:        8,
+		OrderedChainFrac:  0.3,
+		TargetUtil:        0.6,
+		ClockPeriodPS:     1300,
+		SlackGradientDBU:  0,
+	}
+}
+
+// D4 returns the D4-like profile: already rich in 8-bit MBRs, so
+// composition has the least headroom (§5's observation).
+func D4(o ProfileOpts) Spec {
+	return Spec{
+		Name: "D4", Seed: 404,
+		NumRegs:           scaled(50392, o.Scale),
+		CombPerReg:        6,
+		WidthMix:          map[int]float64{1: 0.15, 2: 0.15, 4: 0.25, 8: 0.45},
+		NonComposableFrac: 0.56, // CompRegs 22017/50392
+		ClusterSize:       10,
+		GateGroups:        10,
+		ScanChains:        12,
+		OrderedChainFrac:  0.3,
+		TargetUtil:        0.6,
+		ClockPeriodPS:     1200,
+		SlackGradientDBU:  0,
+	}
+}
+
+// D5 returns the D5-like profile.
+func D5(o ProfileOpts) Spec {
+	return Spec{
+		Name: "D5", Seed: 505,
+		NumRegs:           scaled(34519, o.Scale),
+		CombPerReg:        6,
+		WidthMix:          map[int]float64{1: 0.42, 2: 0.28, 4: 0.20, 8: 0.10},
+		NonComposableFrac: 0.37, // CompRegs 21879/34519
+		ClusterSize:       11,
+		GateGroups:        12,
+		ScanChains:        6,
+		OrderedChainFrac:  0.4,
+		TargetUtil:        0.58,
+		ClockPeriodPS:     1350,
+		SlackGradientDBU:  0,
+	}
+}
+
+// All returns the five profiles in order.
+func All(o ProfileOpts) []Spec {
+	return []Spec{D1(o), D2(o), D3(o), D4(o), D5(o)}
+}

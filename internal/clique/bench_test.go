@@ -1,0 +1,46 @@
+package clique
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// BenchmarkBronKerbosch30 measures maximal-clique enumeration at the
+// paper's subgraph bound.
+func BenchmarkBronKerbosch30(b *testing.B) {
+	g := randomGraph(30, 0.5, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaximalCliques(g)
+	}
+}
+
+// BenchmarkSubCliques30 measures valid sub-clique enumeration against the
+// {1,2,4,8} library on a 30-node subgraph of 1-bit registers.
+func BenchmarkSubCliques30(b *testing.B) {
+	g := randomGraph(30, 0.4, 4)
+	bits := make([]int, 30)
+	for i := range bits {
+		bits[i] = 1
+	}
+	spec := SubCliqueSpec{Bits: bits, Widths: []int{1, 2, 4, 8}, MaxCandidates: 5000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EnumerateSubCliques(g, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

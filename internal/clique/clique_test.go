@@ -1,0 +1,335 @@
+package clique
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperGraph builds the Fig. 1 compatibility graph:
+// nodes A=0(1b) B=1(1b) C=2(1b) D=3(1b) E=4(4b) F=5(2b);
+// edges: A-B, A-C, A-D, A-E, B-C, B-D, B-F, C-D, C-E, C-F.
+func paperGraph() (*Graph, []int) {
+	g := NewGraph(6)
+	edges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 5}, {2, 3}, {2, 4}, {2, 5}}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g, []int{1, 1, 1, 1, 4, 2}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 0) // ignored
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge must be symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("phantom edge")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatal("degree wrong")
+	}
+	if g.HasEdge(0, 0) {
+		t.Fatal("self loop must be ignored")
+	}
+}
+
+func TestIsClique(t *testing.T) {
+	g, _ := paperGraph()
+	if !g.IsClique(MaskOf([]int{0, 1, 2, 3})) { // ABCD
+		t.Fatal("ABCD is a clique")
+	}
+	if g.IsClique(MaskOf([]int{0, 1, 5})) { // ABF: A-F missing
+		t.Fatal("ABF is not a clique")
+	}
+	if !g.IsClique(MaskOf([]int{2})) || !g.IsClique(0) {
+		t.Fatal("trivial cliques")
+	}
+}
+
+func TestMaximalCliquesPaperGraph(t *testing.T) {
+	g, _ := paperGraph()
+	mc := MaximalCliques(g)
+	want := map[uint64]bool{
+		MaskOf([]int{0, 1, 2, 3}): true, // ABCD
+		MaskOf([]int{0, 2, 4}):    true, // ACE
+		MaskOf([]int{1, 2, 5}):    true, // BCF
+	}
+	if len(mc) != len(want) {
+		t.Fatalf("got %d maximal cliques, want %d", len(mc), len(want))
+	}
+	for _, m := range mc {
+		if !want[m] {
+			t.Fatalf("unexpected maximal clique %v", Members(m))
+		}
+	}
+}
+
+func TestMaximalCliquesTriangleFree(t *testing.T) {
+	// A 4-cycle: maximal cliques are its 4 edges.
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	mc := MaximalCliques(g)
+	if len(mc) != 4 {
+		t.Fatalf("4-cycle has 4 maximal cliques, got %d", len(mc))
+	}
+	for _, m := range mc {
+		if bits.OnesCount64(m) != 2 {
+			t.Fatalf("clique %v should be an edge", Members(m))
+		}
+	}
+}
+
+func TestMaximalCliquesEmptyAndComplete(t *testing.T) {
+	g := NewGraph(5) // no edges: 5 singleton maximal cliques
+	mc := MaximalCliques(g)
+	if len(mc) != 5 {
+		t.Fatalf("edgeless graph: got %d cliques", len(mc))
+	}
+	k := NewGraph(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			k.AddEdge(i, j)
+		}
+	}
+	mc = MaximalCliques(k)
+	if len(mc) != 1 || bits.OnesCount64(mc[0]) != 5 {
+		t.Fatalf("K5 must have a single maximal clique")
+	}
+}
+
+func TestEnumerateSubCliquesPaperExample(t *testing.T) {
+	g, bitsPer := paperGraph()
+	// Library widths 1,2,3,4,8 — the paper's example library.
+	res, err := EnumerateSubCliques(g, SubCliqueSpec{
+		Bits: bitsPer, Widths: []int{1, 2, 3, 4, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]int{}
+	for i, c := range res.Cliques {
+		got[c] = res.TotalBits[i]
+	}
+	// Without incomplete MBRs, Fig. 3 lists: 6 singletons, 7 pairs (AB, AC,
+	// AD, BC, BD, CD, BF, CF... AE is 5 bits → invalid), wait: pairs from
+	// edges: AB AC AD AE BC BD BF CD CE CF. AE = 1+4 = 5 bits → invalid.
+	// CE = 5 bits → invalid. BF = 3 bits valid. CF = 3 valid.
+	// Triples: ABC ABD ACD BCD (from ABCD), ACE = 6 → invalid, BCF = 4 valid.
+	// Quad: ABCD = 4 valid.
+	mustHave := [][]int{
+		{0}, {1}, {2}, {3}, {4}, {5},
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {1, 5}, {2, 5},
+		{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}, {1, 2, 5},
+		{0, 1, 2, 3},
+	}
+	mustNotHave := [][]int{
+		{0, 4},    // AE: 5 bits, no 5-bit cell
+		{2, 4},    // CE
+		{0, 2, 4}, // ACE: 6 bits
+	}
+	if len(res.Cliques) != len(mustHave) {
+		t.Fatalf("got %d cliques want %d", len(res.Cliques), len(mustHave))
+	}
+	for _, m := range mustHave {
+		if _, ok := got[MaskOf(m)]; !ok {
+			t.Errorf("missing valid clique %v", m)
+		}
+	}
+	for _, m := range mustNotHave {
+		if _, ok := got[MaskOf(m)]; ok {
+			t.Errorf("invalid clique %v enumerated", m)
+		}
+	}
+}
+
+func TestEnumerateSubCliquesIncomplete(t *testing.T) {
+	g, bitsPer := paperGraph()
+	res, err := EnumerateSubCliques(g, SubCliqueSpec{
+		Bits: bitsPer, Widths: []int{1, 2, 3, 4, 8}, AllowIncomplete: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]int{}
+	for i, c := range res.Cliques {
+		got[c] = res.TotalBits[i]
+	}
+	// Now AE (5 bits → incomplete 8), CE (5), ACE (6), BCF already valid.
+	for _, m := range [][]int{{0, 4}, {2, 4}, {0, 2, 4}} {
+		if _, ok := got[MaskOf(m)]; !ok {
+			t.Errorf("incomplete-valid clique %v missing", m)
+		}
+	}
+	if tb := got[MaskOf([]int{0, 2, 4})]; tb != 6 {
+		t.Errorf("ACE total bits = %d want 6", tb)
+	}
+}
+
+func TestEnumerateSubCliquesPruning(t *testing.T) {
+	// A K4 of 4-bit registers with widths {1,4,8}: only singles (4b) and
+	// pairs (8b) are valid; triples (12b) exceed the largest width.
+	g := NewGraph(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	res, err := EnumerateSubCliques(g, SubCliqueSpec{
+		Bits: []int{4, 4, 4, 4}, Widths: []int{1, 4, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cliques) != 4+6 {
+		t.Fatalf("got %d cliques want 10", len(res.Cliques))
+	}
+}
+
+func TestEnumerateSubCliquesTruncation(t *testing.T) {
+	g := NewGraph(16)
+	for i := 0; i < 16; i++ {
+		for j := i + 1; j < 16; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	bits16 := make([]int, 16)
+	for i := range bits16 {
+		bits16[i] = 1
+	}
+	res, err := EnumerateSubCliques(g, SubCliqueSpec{
+		Bits: bits16, Widths: []int{1, 2, 4, 8}, MaxCandidates: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || len(res.Cliques) != 100 {
+		t.Fatalf("truncated=%v n=%d", res.Truncated, len(res.Cliques))
+	}
+}
+
+func TestEnumerateSubCliquesValidation(t *testing.T) {
+	g := NewGraph(2)
+	if _, err := EnumerateSubCliques(g, SubCliqueSpec{Bits: []int{1}, Widths: []int{1}}); err == nil {
+		t.Fatal("bits length mismatch must fail")
+	}
+	if _, err := EnumerateSubCliques(g, SubCliqueSpec{Bits: []int{1, 1}}); err == nil {
+		t.Fatal("empty widths must fail")
+	}
+	if _, err := EnumerateSubCliques(g, SubCliqueSpec{Bits: []int{0, 1}, Widths: []int{1}}); err == nil {
+		t.Fatal("zero bits must fail")
+	}
+	if _, err := EnumerateSubCliques(g, SubCliqueSpec{Bits: []int{1, 1}, Widths: []int{0}}); err == nil {
+		t.Fatal("zero width must fail")
+	}
+}
+
+// Property: every enumerated sub-clique is a clique, bit totals are
+// correct, there are no duplicates, and every maximal clique of the graph
+// appears when its bit total is valid.
+func TestEnumerateSubCliquesSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		bitsPer := make([]int, n)
+		for i := range bitsPer {
+			bitsPer[i] = 1 + rng.Intn(4)
+		}
+		res, err := EnumerateSubCliques(g, SubCliqueSpec{
+			Bits: bitsPer, Widths: []int{1, 2, 3, 4, 8},
+		})
+		if err != nil {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for i, c := range res.Cliques {
+			if seen[c] {
+				return false // duplicate
+			}
+			seen[c] = true
+			if !g.IsClique(c) {
+				return false
+			}
+			total := 0
+			for _, m := range Members(c) {
+				total += bitsPer[m]
+			}
+			if total != res.TotalBits[i] {
+				return false
+			}
+			switch total {
+			case 1, 2, 3, 4, 8:
+			default:
+				return false // invalid width admitted
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Bron–Kerbosch output is exactly the set of maximal cliques
+// (cross-checked by brute force on small graphs).
+func TestMaximalCliquesMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) > 0 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		want := map[uint64]bool{}
+		for set := uint64(1); set < 1<<uint(n); set++ {
+			if !g.IsClique(set) {
+				continue
+			}
+			maximal := true
+			for v := 0; v < n; v++ {
+				if set&(1<<uint(v)) != 0 {
+					continue
+				}
+				if g.IsClique(set | 1<<uint(v)) {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				want[set] = true
+			}
+		}
+		got := MaximalCliques(g)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, m := range got {
+			if !want[m] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

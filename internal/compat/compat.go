@@ -1,0 +1,271 @@
+// Package compat builds the register compatibility graph of §2: nodes are
+// the composable registers of the design, edges connect register pairs that
+// are functionally, scan-, placement- and timing-compatible. Candidate MBRs
+// are then cliques of this graph (package clique), selected by the ILP
+// (package core).
+package compat
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/sta"
+)
+
+// Options tunes the compatibility rules.
+type Options struct {
+	// MaxSlackDiff is the largest allowed difference between the D-pin
+	// slacks (and, separately, Q-pin slacks) of two compatible registers,
+	// in ps (§2: similar magnitude, to avoid upsizing for one critical bit
+	// and to keep one shared useful skew workable).
+	MaxSlackDiff float64
+	// SlackClamp bounds slacks before comparison; unconstrained (+Inf)
+	// slacks are clamped here. Defaults to the clock period when zero.
+	SlackClamp float64
+}
+
+// DefaultOptions returns the rules used by the benchmarks.
+func DefaultOptions() Options {
+	return Options{MaxSlackDiff: 150}
+}
+
+// NotComposableReason explains why a register was excluded from the graph.
+type NotComposableReason string
+
+// Exclusion reasons (Table 1 separates total registers from composable
+// ones; these are the paper's cases (a)–(c) plus structural guards).
+const (
+	ReasonFixed        NotComposableReason = "fixed-or-size-only"
+	ReasonNoMBRClass   NotComposableReason = "no-equivalent-mbr-in-library"
+	ReasonLargestWidth NotComposableReason = "already-largest-mbr"
+	ReasonNoClock      NotComposableReason = "no-clock"
+)
+
+// RegInfo is the per-register data the composition engine needs.
+type RegInfo struct {
+	Inst   *netlist.Inst
+	DSlack float64
+	QSlack float64
+	// Region is the timing-feasible placement region of the cell corner.
+	Region geom.Rect
+	// ClockPos is the current clock pin position (drives partitioning).
+	ClockPos geom.Point
+}
+
+// Graph is the compatibility graph over composable registers.
+type Graph struct {
+	// Regs are the nodes; index = node id.
+	Regs []*RegInfo
+	// Adj are adjacency lists over node ids.
+	Adj [][]int
+	// Excluded maps non-composable register instances to the reason.
+	Excluded map[netlist.InstID]NotComposableReason
+	// Plan is the scan plan used for group-level checks (may be nil).
+	Plan *scan.Plan
+
+	opts Options
+	d    *netlist.Design
+}
+
+// NumEdges returns the edge count of the graph.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, a := range g.Adj {
+		n += len(a)
+	}
+	return n / 2
+}
+
+// NodeOf returns the node id of a register instance, or -1.
+func (g *Graph) NodeOf(id netlist.InstID) int {
+	for i, r := range g.Regs {
+		if r.Inst.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Build constructs the compatibility graph for the design's current state.
+// res must be a fresh timing analysis of d; plan may be nil for unscanned
+// designs.
+func Build(d *netlist.Design, res *sta.Results, plan *scan.Plan, opts Options) *Graph {
+	if opts.SlackClamp == 0 {
+		opts.SlackClamp = d.Timing.ClockPeriod
+	}
+	g := &Graph{
+		Excluded: map[netlist.InstID]NotComposableReason{},
+		Plan:     plan,
+		opts:     opts,
+		d:        d,
+	}
+	for _, in := range d.Registers() {
+		if reason, bad := excluded(d, in); bad {
+			g.Excluded[in.ID] = reason
+			continue
+		}
+		info := &RegInfo{
+			Inst:   in,
+			DSlack: clampSlack(sta.RegDSlack(d, res, in), opts.SlackClamp),
+			QSlack: clampSlack(sta.RegQSlack(d, res, in), opts.SlackClamp),
+			Region: sta.FeasibleRegion(d, res, in),
+		}
+		if cp := d.ClockPin(in); cp != nil {
+			info.ClockPos = d.PinPos(cp)
+		} else {
+			info.ClockPos = in.Center()
+		}
+		g.Regs = append(g.Regs, info)
+	}
+	g.Adj = make([][]int, len(g.Regs))
+	for i := 0; i < len(g.Regs); i++ {
+		for j := i + 1; j < len(g.Regs); j++ {
+			if g.compatible(g.Regs[i], g.Regs[j]) {
+				g.Adj[i] = append(g.Adj[i], j)
+				g.Adj[j] = append(g.Adj[j], i)
+			}
+		}
+	}
+	return g
+}
+
+// excluded applies the node-eligibility rules (the paper's reasons a–c for
+// registers that cannot be composed at all).
+func excluded(d *netlist.Design, in *netlist.Inst) (NotComposableReason, bool) {
+	if in.Fixed || in.SizeOnly {
+		return ReasonFixed, true
+	}
+	if cp := d.ClockPin(in); cp == nil || cp.Net == netlist.NoID {
+		return ReasonNoClock, true
+	}
+	class := in.RegCell.Class
+	if !d.Lib.HasClass(class) {
+		return ReasonNoMBRClass, true
+	}
+	if d.Lib.MaxWidth(class) <= in.RegCell.Bits {
+		return ReasonLargestWidth, true
+	}
+	return "", false
+}
+
+func clampSlack(s, clamp float64) float64 {
+	if math.IsInf(s, 1) || s > clamp {
+		return clamp
+	}
+	if s < -clamp {
+		return -clamp
+	}
+	return s
+}
+
+// compatible implements the pairwise edge rule: functional, scan, placement
+// and timing compatibility.
+func (g *Graph) compatible(a, b *RegInfo) bool {
+	return g.functionalCompatible(a.Inst, b.Inst) &&
+		g.scanCompatible(a.Inst, b.Inst) &&
+		placementCompatible(a, b) &&
+		g.timingCompatible(a, b)
+}
+
+// functionalCompatible: same functional class, same clock net, same
+// clock-gating group, and identical control nets (reset, enable, scan
+// enable) so the MBR's shared control pins can connect legally.
+func (g *Graph) functionalCompatible(a, b *netlist.Inst) bool {
+	if a.RegCell.Class != b.RegCell.Class {
+		return false
+	}
+	if a.GateGroup != b.GateGroup {
+		return false
+	}
+	d := g.d
+	if d.ClockNet(a) != d.ClockNet(b) {
+		return false
+	}
+	for _, kind := range []netlist.PinKind{netlist.PinReset, netlist.PinEnable, netlist.PinScanEnable} {
+		if d.ControlNet(a, kind) != d.ControlNet(b, kind) {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *Graph) scanCompatible(a, b *netlist.Inst) bool {
+	if g.Plan == nil {
+		return true
+	}
+	return g.Plan.PairCompatible(a.ID, b.ID)
+}
+
+// placementCompatible: the timing-feasible regions must overlap, providing
+// a shared region where the MBR can be placed (§2). A violating register's
+// degenerate region still counts — other registers can move to it.
+func placementCompatible(a, b *RegInfo) bool {
+	return a.Region.Overlaps(b.Region)
+}
+
+// timingCompatible: no opposite D/Q slack signs (they would pull the MBR's
+// useful skew in opposite directions), and similar slack magnitudes on both
+// the D side and the Q side.
+func (g *Graph) timingCompatible(a, b *RegInfo) bool {
+	if opposed(a.DSlack, a.QSlack, b.DSlack, b.QSlack) {
+		return false
+	}
+	return math.Abs(a.DSlack-b.DSlack) <= g.opts.MaxSlackDiff &&
+		math.Abs(a.QSlack-b.QSlack) <= g.opts.MaxSlackDiff
+}
+
+// opposed reports the forbidden combination: one register with positive D /
+// negative Q slack and the other with negative D / positive Q slack.
+func opposed(ad, aq, bd, bq float64) bool {
+	aPosNeg := ad > 0 && aq < 0
+	aNegPos := ad < 0 && aq > 0
+	bPosNeg := bd > 0 && bq < 0
+	bNegPos := bd < 0 && bq > 0
+	return (aPosNeg && bNegPos) || (aNegPos && bPosNeg)
+}
+
+// GroupRegion returns the common timing-feasible region of a node group
+// (the MBR's legal corner positions) and whether it is non-empty.
+func (g *Graph) GroupRegion(nodes []int) (geom.Rect, bool) {
+	rs := make([]geom.Rect, len(nodes))
+	for i, n := range nodes {
+		rs[i] = g.Regs[n].Region
+	}
+	return geom.IntersectAll(rs)
+}
+
+// GroupScanCompatible applies the group-level scan rule to a node set.
+func (g *Graph) GroupScanCompatible(nodes []int) bool {
+	if g.Plan == nil {
+		return true
+	}
+	ids := make([]netlist.InstID, len(nodes))
+	for i, n := range nodes {
+		ids[i] = g.Regs[n].Inst.ID
+	}
+	return g.Plan.GroupCompatible(ids)
+}
+
+// Stats summarizes the graph for reporting.
+type Stats struct {
+	TotalRegs      int
+	ComposableRegs int
+	Edges          int
+	ExcludedByWhy  map[NotComposableReason]int
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	s := Stats{
+		TotalRegs:      len(g.Regs) + len(g.Excluded),
+		ComposableRegs: len(g.Regs),
+		Edges:          g.NumEdges(),
+		ExcludedByWhy:  map[NotComposableReason]int{},
+	}
+	for _, why := range g.Excluded {
+		s.ExcludedByWhy[why]++
+	}
+	return s
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/compat"
+	"repro/internal/geom"
+	"repro/internal/ilp"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/place"
+	"repro/internal/scan"
+)
+
+// Compose runs MBR composition on the design. g must be a freshly built
+// compatibility graph for the design's current state (compat.Build); plan
+// may be nil for unscanned designs. The design, and the plan when present,
+// are modified in place.
+func Compose(d *netlist.Design, g *compat.Graph, plan *scan.Plan, opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.MaxSubgraphNodes <= 0 {
+		opts.MaxSubgraphNodes = 30
+	}
+	if opts.NamePrefix == "" {
+		opts.NamePrefix = "mbrc"
+	}
+	res := &Result{
+		RegsBefore:     len(d.Registers()),
+		ComposableRegs: len(g.Regs),
+	}
+	// Without the §3.2 weights nothing prunes the candidate columns, and a
+	// unit-cost set partitioning is maximally degenerate for branch &
+	// bound; keep the unweighted ablation tractable with a tighter
+	// enumeration cap.
+	if !opts.UseWeights && (opts.MaxCandidatesPerSubgraph == 0 || opts.MaxCandidatesPerSubgraph > 1500) {
+		opts.MaxCandidatesPerSubgraph = 1500
+	}
+
+	ri := newRegIndex(d)
+	subgraphs := partition.Decompose(len(g.Regs), g.Adj,
+		func(n int) geom.Point { return g.Regs[n].ClockPos }, opts.MaxSubgraphNodes)
+	res.Subgraphs = len(subgraphs)
+
+	var selected []candidate
+	for _, nodes := range subgraphs {
+		cands, truncated, err := enumerateCandidates(d, g, ri, nodes, opts)
+		if err != nil {
+			return nil, err
+		}
+		if truncated {
+			res.TruncatedSubgraphs++
+		}
+		res.Candidates += len(cands)
+		var picked []candidate
+		var obj float64
+		var nodesUsed int
+		switch opts.Method {
+		case MethodGreedy:
+			picked, obj = selectGreedy(d, g, nodes, cands)
+		default:
+			var err error
+			picked, obj, nodesUsed, err = selectILP(nodes, cands, opts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		res.ILPNodes += nodesUsed
+		res.ObjectiveSum += obj
+		for _, c := range picked {
+			if len(c.nodes) > 1 {
+				selected = append(selected, c)
+			}
+		}
+	}
+
+	// Deterministic commit order: by first member's instance ID.
+	sort.Slice(selected, func(i, j int) bool {
+		return regOf(g, selected[i].nodes[0]).ID < regOf(g, selected[j].nodes[0]).ID
+	})
+
+	var newInsts []*netlist.Inst
+	for idx, c := range selected {
+		m, err := commit(d, g, plan, c, fmt.Sprintf("%s_%d", opts.NamePrefix, idx))
+		if err != nil {
+			return nil, err
+		}
+		res.MBRs = append(res.MBRs, *m)
+		if m.Incomplete {
+			res.IncompleteMBRs++
+		}
+		newInsts = append(newInsts, m.Inst)
+	}
+
+	lr := place.LegalizeIncremental(d, newInsts)
+	res.LegalizationMoved = lr.Moved
+	res.LegalizationFailed = len(lr.Failed)
+	res.RegsAfter = len(d.Registers())
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// selectILP solves the subgraph's weighted set-partitioning ILP (§3.1) and
+// returns the chosen candidates.
+//
+// Column pruning: every register has its keep-as-is singleton at cost 1,
+// so a candidate whose weight is at least its member count can never be in
+// an optimal cover — replacing it by singletons is always feasible and
+// strictly cheaper. With the §3.2 weights this removes every blocked
+// candidate (b·2ⁿ ≥ 2b ≥ 2·members), typically shrinking the LP by an
+// order of magnitude without changing the optimum.
+func selectILP(nodes []int, cands []candidate, opts Options) ([]candidate, float64, int, error) {
+	local := map[int]int{}
+	for i, n := range nodes {
+		local[n] = i
+	}
+	inst := ilp.CoverInstance{NumElems: len(nodes), NodeLimit: opts.ILPNodeLimit}
+	var kept []int
+	for ci, c := range cands {
+		if len(c.nodes) > 1 && c.weight >= float64(len(c.nodes))-1e-12 {
+			continue
+		}
+		ms := make([]int, len(c.nodes))
+		for i, n := range c.nodes {
+			ms[i] = local[n]
+		}
+		inst.Sets = append(inst.Sets, ilp.CoverSet{Members: ms, Weight: c.weight})
+		kept = append(kept, ci)
+	}
+	cr, err := ilp.SolveCover(inst)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: subgraph ILP: %w", err)
+	}
+	out := make([]candidate, 0, len(cr.Chosen))
+	for _, ci := range cr.Chosen {
+		out = append(out, cands[kept[ci]])
+	}
+	return out, cr.Objective, cr.Nodes, nil
+}
+
+// selectGreedy is the Fig. 6 baseline: the same methodology with the ILP
+// selection replaced by a greedy mapping heuristic, in the spirit of Wang
+// et al. [8] and Lin et al. [12]. It works over the same physically valid
+// candidate set the ILP sees, but filters out the candidates the weights
+// price above keeping the registers separate (a heuristic flow would not
+// commit merges that its own cost model rejects), then repeatedly maps the
+// largest remaining candidate whose members are all still free.
+//
+// Largest-first commitment is path-dependent: one misaligned grab strands
+// its neighbours into odd-sized remainders that no library width covers —
+// the fragmentation the exact cover avoids, and the source of the ~12%
+// register-count gap of Fig. 6.
+func selectGreedy(d *netlist.Design, g *compat.Graph, nodes []int, cands []candidate) ([]candidate, float64) {
+	order := make([]int, 0, len(cands))
+	for i, c := range cands {
+		if len(c.nodes) < 2 {
+			continue
+		}
+		if c.weight >= float64(len(c.nodes)) {
+			continue // costlier than keeping the members separate
+		}
+		order = append(order, i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := cands[order[a]], cands[order[b]]
+		if ca.totalBits != cb.totalBits {
+			return ca.totalBits > cb.totalBits
+		}
+		if len(ca.nodes) != len(cb.nodes) {
+			return len(ca.nodes) > len(cb.nodes)
+		}
+		return lessNodes(ca.nodes, cb.nodes)
+	})
+
+	assigned := map[int]bool{}
+	var out []candidate
+	var obj float64
+	for _, oi := range order {
+		c := cands[oi]
+		free := true
+		for _, n := range c.nodes {
+			if assigned[n] {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		for _, n := range c.nodes {
+			assigned[n] = true
+		}
+		out = append(out, c)
+		obj += c.weight
+	}
+	for _, n := range nodes {
+		if !assigned[n] {
+			out = append(out, candidate{
+				nodes: []int{n}, totalBits: regOf(g, n).Bits(),
+				width: regOf(g, n).Bits(), weight: 1,
+			})
+			obj++
+		}
+	}
+	_ = d
+	return out, obj
+}
+
+func lessNodes(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// commit maps, places and merges one selected candidate.
+func commit(
+	d *netlist.Design,
+	g *compat.Graph,
+	plan *scan.Plan,
+	c candidate,
+	name string,
+) (*ComposedMBR, error) {
+	insts := make([]*netlist.Inst, len(c.nodes))
+	minRes := math.Inf(1)
+	for i, n := range c.nodes {
+		insts[i] = regOf(g, n)
+		if r := insts[i].RegCell.DriveRes; r < minRes {
+			minRes = r
+		}
+	}
+	class := insts[0].RegCell.Class
+	cell := d.Lib.SelectCell(class, c.width, minRes)
+	if cell == nil {
+		return nil, fmt.Errorf("core: no %d-bit cell for class %s", c.width, class.Key())
+	}
+
+	// Merge order: scan order when scanned, geometric order otherwise.
+	ordered := insts
+	if plan != nil {
+		ids := make([]netlist.InstID, len(insts))
+		for i, in := range insts {
+			ids[i] = in.ID
+		}
+		mo := plan.MergeOrder(ids)
+		ordered = make([]*netlist.Inst, len(mo))
+		for i, id := range mo {
+			ordered[i] = d.Inst(id)
+		}
+	} else {
+		ordered = append([]*netlist.Inst(nil), insts...)
+		sort.Slice(ordered, func(i, j int) bool {
+			if ordered[i].Pos.Y != ordered[j].Pos.Y {
+				return ordered[i].Pos.Y < ordered[j].Pos.Y
+			}
+			return ordered[i].Pos.X < ordered[j].Pos.X
+		})
+	}
+
+	pos, err := placeMBR(d, g, c.nodes, ordered, cell)
+	if err != nil {
+		return nil, err
+	}
+
+	memberIDs := make([]netlist.InstID, len(ordered))
+	for i, in := range ordered {
+		memberIDs[i] = in.ID
+	}
+	mr, err := d.MergeRegisters(ordered, cell, name, pos)
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil {
+		if err := plan.ApplyMerge(memberIDs, mr.MBR.ID); err != nil {
+			return nil, err
+		}
+	}
+	return &ComposedMBR{
+		Inst:       mr.MBR,
+		Members:    memberIDs,
+		Cell:       cell,
+		Bits:       c.totalBits,
+		Incomplete: mr.UnusedBits > 0,
+		Pos:        pos,
+		Weight:     c.weight,
+	}, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/compat"
+	"repro/internal/geom"
+	"repro/internal/lib"
+	"repro/internal/lp"
+	"repro/internal/netlist"
+)
+
+// placeMBR solves the §4.2 linear program: find the MBR corner position
+// (x, y) inside the group's common timing-feasible region that minimizes
+// the total half-perimeter wirelength of the nets on the MBR's D and Q
+// pins. Pin coordinates are expressed as corner + per-bit offset of the
+// chosen cell; the max/min terms of the HPWL are linearized with helper
+// variables.
+//
+// ordered lists the member instances in merge order (which fixes the bit
+// assignment); it must be called before the merge, while the old registers
+// are still connected.
+func placeMBR(
+	d *netlist.Design,
+	g *compat.Graph,
+	nodes []int,
+	ordered []*netlist.Inst,
+	cell *lib.Cell,
+) (geom.Point, error) {
+	region, ok := g.GroupRegion(nodes)
+	if !ok {
+		// Should not happen for enumerated candidates; fall back to the
+		// first member's position.
+		region = geom.Rect{Lo: ordered[0].Pos, Hi: ordered[0].Pos}
+	}
+	// Keep the cell inside the core even if the slack region pokes out.
+	coreFit := geom.Rect{
+		Lo: d.Core.Lo,
+		Hi: geom.Point{X: d.Core.Hi.X - cell.Width, Y: d.Core.Hi.Y - cell.Height},
+	}
+	if r, ok := region.Intersect(coreFit); ok {
+		region = r
+	}
+
+	type pinJob struct {
+		off lib.PinOffset
+		box geom.Rect // bbox of the net's other pins
+	}
+	var jobs []pinJob
+	k := 0
+	for _, in := range ordered {
+		for b := 0; b < in.Bits(); b++ {
+			if dp := d.DPin(in, b); dp != nil && dp.Net != netlist.NoID {
+				if box, ok := othersBox(d, d.Net(dp.Net), dp); ok {
+					jobs = append(jobs, pinJob{off: cell.DPins[k], box: box})
+				}
+			}
+			if qp := d.QPin(in, b); qp != nil && qp.Net != netlist.NoID {
+				if box, ok := othersBox(d, d.Net(qp.Net), qp); ok {
+					jobs = append(jobs, pinJob{off: cell.QPins[k], box: box})
+				}
+			}
+			k++
+		}
+	}
+	if len(jobs) == 0 {
+		// No connected pins: centroid of the members, clamped.
+		var sx, sy int64
+		for _, in := range ordered {
+			c := in.Center()
+			sx += c.X
+			sy += c.Y
+		}
+		n := int64(len(ordered))
+		return snapToGrid(d, region.ClampPoint(geom.Point{X: sx / n, Y: sy / n}), region), nil
+	}
+
+	prob := lp.New(lp.Minimize)
+	x := prob.AddVar(float64(region.Lo.X), float64(region.Hi.X), 0, "x")
+	y := prob.AddVar(float64(region.Lo.Y), float64(region.Hi.Y), 0, "y")
+	negInf, posInf := math.Inf(-1), math.Inf(1)
+	for _, j := range jobs {
+		hx := prob.AddVar(negInf, posInf, 1, "hx")
+		lx := prob.AddVar(negInf, posInf, -1, "lx")
+		hy := prob.AddVar(negInf, posInf, 1, "hy")
+		ly := prob.AddVar(negInf, posInf, -1, "ly")
+		// hx ≥ box.Hi.X ; hx ≥ x + dx  (so hx = max at optimum)
+		prob.AddConstraint([]lp.Term{{Var: hx, Coef: 1}}, lp.GE, float64(j.box.Hi.X))
+		prob.AddConstraint([]lp.Term{{Var: hx, Coef: 1}, {Var: x, Coef: -1}}, lp.GE, float64(j.off.DX))
+		// lx ≤ box.Lo.X ; lx ≤ x + dx
+		prob.AddConstraint([]lp.Term{{Var: lx, Coef: 1}}, lp.LE, float64(j.box.Lo.X))
+		prob.AddConstraint([]lp.Term{{Var: lx, Coef: 1}, {Var: x, Coef: -1}}, lp.LE, float64(j.off.DX))
+		prob.AddConstraint([]lp.Term{{Var: hy, Coef: 1}}, lp.GE, float64(j.box.Hi.Y))
+		prob.AddConstraint([]lp.Term{{Var: hy, Coef: 1}, {Var: y, Coef: -1}}, lp.GE, float64(j.off.DY))
+		prob.AddConstraint([]lp.Term{{Var: ly, Coef: 1}}, lp.LE, float64(j.box.Lo.Y))
+		prob.AddConstraint([]lp.Term{{Var: ly, Coef: 1}, {Var: y, Coef: -1}}, lp.LE, float64(j.off.DY))
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	if sol.Status != lp.Optimal {
+		// Degenerate region (single point) can surface as numerically odd;
+		// fall back to the region corner.
+		return snapToGrid(d, region.Lo, region), nil
+	}
+	p := geom.Point{X: int64(math.Round(sol.X[x])), Y: int64(math.Round(sol.X[y]))}
+	return snapToGrid(d, region.ClampPoint(p), region), nil
+}
+
+// othersBox returns the bounding box of the net's pins excluding excl.
+func othersBox(d *netlist.Design, n *netlist.Net, excl *netlist.Pin) (geom.Rect, bool) {
+	var pts []geom.Point
+	if n.Driver != netlist.NoID && n.Driver != excl.ID {
+		pts = append(pts, d.PinPos(d.Pin(n.Driver)))
+	}
+	for _, s := range n.Sinks {
+		if s != excl.ID {
+			pts = append(pts, d.PinPos(d.Pin(s)))
+		}
+	}
+	if len(pts) == 0 {
+		return geom.Rect{}, false
+	}
+	return geom.BoundingBox(pts), true
+}
+
+// snapToGrid rounds the point down to the design's site/row grid while
+// staying inside the region when possible.
+func snapToGrid(d *netlist.Design, p geom.Point, region geom.Rect) geom.Point {
+	sx := d.Core.Lo.X + ((p.X-d.Core.Lo.X)/d.SiteW)*d.SiteW
+	sy := d.Core.Lo.Y + ((p.Y-d.Core.Lo.Y)/d.RowH)*d.RowH
+	if sx < region.Lo.X && sx+d.SiteW <= region.Hi.X {
+		sx += d.SiteW
+	}
+	if sy < region.Lo.Y && sy+d.RowH <= region.Hi.Y {
+		sy += d.RowH
+	}
+	return geom.Point{X: sx, Y: sy}
+}

@@ -1,0 +1,254 @@
+// Package cts implements a simple clock-tree synthesizer: recursive
+// geometric bisection clustering of clock sinks with fanout and capacitance
+// limits, buffer insertion at cluster centroids, and clock-tree metrics
+// (buffer count, total clock capacitance, clock wirelength).
+//
+// The paper evaluates its MBR composition by the clock-tree capacitance and
+// buffer count after CTS (Table 1, columns "Clk Bufs" and "Clk Cap"); any
+// capacity-limited clustering CTS translates sink-count/sink-cap reduction
+// into those metrics the same way, which is all the reproduction needs.
+package cts
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Options configures tree construction.
+type Options struct {
+	// MaxFanout is the maximum sinks a buffer may drive.
+	MaxFanout int
+	// MaxCap is the maximum load capacitance per buffer (fF), including
+	// estimated wire capacitance.
+	MaxCap float64
+	// Buffer is the clock-buffer cell model.
+	Buffer *netlist.CombSpec
+}
+
+// DefaultOptions returns typical leaf-level CTS limits.
+func DefaultOptions() Options {
+	return Options{
+		MaxFanout: 24,
+		MaxCap:    60,
+		Buffer: &netlist.CombSpec{
+			Name: "CLKBUF_X4", NumInputs: 1, DriveRes: 1.5, Intrinsic: 18,
+			InCap: 1.6, Width: 800, Height: 1200,
+		},
+	}
+}
+
+// Tree is a built clock tree, remembering what it created so it can be
+// removed before a rebuild.
+type Tree struct {
+	d *netlist.Design
+	// Root is the top buffer of the tree (nil for a sink-less clock).
+	Root *netlist.Inst
+	// Buffers are all inserted buffer instances, root included.
+	Buffers []*netlist.Inst
+	// nets created by the build, excluding the original root net.
+	nets []*netlist.Net
+	// Levels is the depth of the tree.
+	Levels int
+	// sink pins that were moved off the root net, for Remove.
+	movedSinks []*netlist.Pin
+	rootNet    *netlist.Net
+}
+
+// sink is one clock load to be driven.
+type sink struct {
+	pin *netlist.Pin
+	pos geom.Point
+	cap float64
+}
+
+// Build constructs a buffered tree for the given root clock net: every
+// current sink of the net (register clock pins, clock-gate inputs) is
+// re-parented under inserted buffers; the root buffer becomes the only sink
+// of the original net.
+//
+// Sinks that are themselves clock gates keep their subtree: only direct
+// sinks of rootNet are clustered (per-gated-domain trees can be built by
+// calling Build on the gated nets).
+func Build(d *netlist.Design, rootNet *netlist.Net, opts Options) (*Tree, error) {
+	if opts.MaxFanout <= 1 || opts.Buffer == nil {
+		return nil, fmt.Errorf("cts: invalid options")
+	}
+	if !rootNet.IsClock {
+		return nil, fmt.Errorf("cts: net %q is not a clock net", rootNet.Name)
+	}
+	var sinks []sink
+	for _, pid := range append([]netlist.PinID(nil), rootNet.Sinks...) {
+		p := d.Pin(pid)
+		sinks = append(sinks, sink{pin: p, pos: d.PinPos(p), cap: p.Cap})
+	}
+	t := &Tree{d: d, rootNet: rootNet}
+	if len(sinks) == 0 {
+		return t, nil
+	}
+	for _, s := range sinks {
+		d.Disconnect(s.pin)
+		t.movedSinks = append(t.movedSinks, s.pin)
+	}
+	top, levels, err := t.buildLevel(sinks, opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.Levels = levels
+	t.Root = top
+	// Connect the root buffer's input to the original clock net.
+	d.Connect(inPin(d, top), rootNet)
+	return t, nil
+}
+
+// buildLevel clusters sinks, inserts one buffer per cluster, and recurses
+// on the buffer inputs until a single buffer remains. Returns the top
+// buffer.
+func (t *Tree) buildLevel(sinks []sink, opts Options, level int) (*netlist.Inst, int, error) {
+	if level > 64 {
+		return nil, 0, fmt.Errorf("cts: runaway recursion")
+	}
+	d := t.d
+	clusters := cluster(sinks, opts)
+	next := make([]sink, 0, len(clusters))
+	for ci, cl := range clusters {
+		centroid := centroidOf(cl)
+		name := fmt.Sprintf("%s_ctsbuf_L%d_%d_%d", t.rootNet.Name, level, ci, len(t.Buffers))
+		buf, err := d.AddClockBuf(name, opts.Buffer, centroid)
+		if err != nil {
+			return nil, 0, err
+		}
+		t.Buffers = append(t.Buffers, buf)
+		net := d.AddNet(fmt.Sprintf("%s_cts_L%d_%d", t.rootNet.Name, level, ci), true)
+		t.nets = append(t.nets, net)
+		d.Connect(d.OutPin(buf), net)
+		for _, s := range cl {
+			d.Connect(s.pin, net)
+		}
+		next = append(next, sink{pin: inPin(d, buf), pos: centroid, cap: opts.Buffer.InCap})
+	}
+	if len(next) == 1 {
+		return d.Inst(next[0].pin.Inst), level + 1, nil
+	}
+	return t.buildLevel(next, opts, level+1)
+}
+
+func inPin(d *netlist.Design, in *netlist.Inst) *netlist.Pin {
+	return d.FindPin(in, netlist.PinData, 0)
+}
+
+func centroidOf(cl []sink) geom.Point {
+	var sx, sy int64
+	for _, s := range cl {
+		sx += s.pos.X
+		sy += s.pos.Y
+	}
+	n := int64(len(cl))
+	return geom.Point{X: sx / n, Y: sy / n}
+}
+
+// cluster recursively bisects the sinks along the longer bounding-box axis
+// until each cluster satisfies the fanout and capacitance limits.
+func cluster(sinks []sink, opts Options) [][]sink {
+	totalCap := 0.0
+	for _, s := range sinks {
+		totalCap += s.cap
+	}
+	if len(sinks) <= opts.MaxFanout && totalCap <= opts.MaxCap {
+		return [][]sink{sinks}
+	}
+	pts := make([]geom.Point, len(sinks))
+	for i, s := range sinks {
+		pts[i] = s.pos
+	}
+	bb := geom.BoundingBox(pts)
+	horizontal := bb.W() >= bb.H()
+	sorted := append([]sink(nil), sinks...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if horizontal {
+			if sorted[i].pos.X != sorted[j].pos.X {
+				return sorted[i].pos.X < sorted[j].pos.X
+			}
+			return sorted[i].pos.Y < sorted[j].pos.Y
+		}
+		if sorted[i].pos.Y != sorted[j].pos.Y {
+			return sorted[i].pos.Y < sorted[j].pos.Y
+		}
+		return sorted[i].pos.X < sorted[j].pos.X
+	})
+	mid := len(sorted) / 2
+	left := cluster(sorted[:mid], opts)
+	right := cluster(sorted[mid:], opts)
+	return append(left, right...)
+}
+
+// Remove deletes every buffer and net the build created and reattaches the
+// original sinks to the root net, restoring the pre-CTS state.
+func (t *Tree) Remove() {
+	d := t.d
+	for _, p := range t.movedSinks {
+		d.Disconnect(p)
+	}
+	for _, b := range t.Buffers {
+		d.RemoveInst(b)
+	}
+	for _, n := range t.nets {
+		// All pins were on removed buffers or moved sinks; nets are empty.
+		for len(n.Sinks) > 0 {
+			d.Disconnect(d.Pin(n.Sinks[0]))
+		}
+		if n.Driver != netlist.NoID {
+			d.Disconnect(d.Pin(n.Driver))
+		}
+		if err := d.RemoveNet(n); err != nil {
+			panic(err) // internal invariant
+		}
+	}
+	for _, p := range t.movedSinks {
+		if d.Inst(p.Inst) != nil { // sink's instance may have been removed meanwhile
+			d.Connect(p, t.rootNet)
+		}
+	}
+	t.Buffers = nil
+	t.nets = nil
+	t.Root = nil
+	t.movedSinks = nil
+}
+
+// Metrics summarizes the clock network of a design.
+type Metrics struct {
+	// Buffers is the number of clock buffers (KindClockBuf instances).
+	Buffers int
+	// Sinks is the number of register clock pins.
+	Sinks int
+	// TotalCapFF is the total capacitance on clock nets: sink pins, buffer
+	// input pins and estimated wire capacitance (fF).
+	TotalCapFF float64
+	// WirelengthDBU is the total HPWL of clock nets.
+	WirelengthDBU int64
+}
+
+// Measure computes clock-network metrics for the design's current state.
+func Measure(d *netlist.Design) Metrics {
+	var m Metrics
+	d.Insts(func(in *netlist.Inst) {
+		switch in.Kind {
+		case netlist.KindClockBuf:
+			m.Buffers++
+		case netlist.KindReg:
+			if cp := d.ClockPin(in); cp != nil && cp.Net != netlist.NoID {
+				m.Sinks++
+			}
+		}
+	})
+	d.Nets(func(n *netlist.Net) {
+		if !n.IsClock {
+			return
+		}
+		m.TotalCapFF += d.NetLoadCap(n)
+		m.WirelengthDBU += d.NetHPWL(n)
+	})
+	return m
+}

@@ -1,0 +1,474 @@
+// Package flow drives the paper's implementation flow (Fig. 4) on a placed
+// design: measure the Base state (CTS built, timing, congestion,
+// wirelength), then incrementally run MBR composition → useful skew → MBR
+// sizing → CTS rebuild, and measure again. Its Report holds one Table 1
+// row pair (Base / Ours).
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/cts"
+	"repro/internal/geom"
+	"repro/internal/lib"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/scan"
+	"repro/internal/sta"
+)
+
+// Metrics is one Table 1 row: the design-state snapshot the paper reports.
+type Metrics struct {
+	AreaUM2          float64
+	Cells            int
+	TotalRegs        int
+	CompRegs         int
+	ClkBufs          int
+	ClkCapPF         float64
+	TNSNS            float64 // total negative slack, reported positive, ns
+	WNSPS            float64 // worst slack, ps (negative = violation)
+	FailingEndpoints int
+	TotalEndpoints   int
+	OverflowEdges    int
+	WLClkMM          float64
+	WLSigMM          float64
+}
+
+// Config selects the flow options.
+type Config struct {
+	Compose core.Options
+	Compat  compat.Options
+	CTS     cts.Options
+	Route   route.Options
+	// UsefulSkew applies per-MBR useful clock skew after composition
+	// (Fig. 4).
+	UsefulSkew bool
+	// UsefulSkewWindowPS bounds the skew magnitude.
+	UsefulSkewWindowPS float64
+	// Sizing downsizes composed MBRs whose slack allows it (Fig. 4 "MBR
+	// sizing"), recovering clock-pin capacitance and area.
+	Sizing bool
+	// SizingMarginPS is the slack that must remain after a downsize.
+	SizingMarginPS float64
+	// DecomposeExisting implements the paper's future-work idea (§5): the
+	// maximum-width MBRs that composition would skip are first decomposed
+	// into single-bit registers so their bits can recompose with
+	// neighbours. Most useful on designs already rich in 8-bit MBRs (the
+	// D4 situation).
+	DecomposeExisting bool
+}
+
+// DefaultConfig returns the paper-default flow.
+func DefaultConfig() Config {
+	return Config{
+		Compose:            core.DefaultOptions(),
+		Compat:             compat.DefaultOptions(),
+		CTS:                cts.DefaultOptions(),
+		Route:              route.DefaultOptions(),
+		UsefulSkew:         true,
+		UsefulSkewWindowPS: 150,
+		Sizing:             true,
+		SizingMarginPS:     20,
+	}
+}
+
+// Report is the outcome of one flow run.
+type Report struct {
+	Design string
+	Base   Metrics
+	Ours   Metrics
+	// Compose is the composition result (nil when composition found
+	// nothing).
+	Compose *core.Result
+	// SkewedMBRs and ResizedMBRs count the post-composition optimizations.
+	SkewedMBRs  int
+	ResizedMBRs int
+	// DecomposedMBRs counts max-width MBRs split before composition (only
+	// with Config.DecomposeExisting); RestoredMBRs counts the merges that
+	// re-grouped leftover split bits afterwards.
+	DecomposedMBRs int
+	RestoredMBRs   int
+	// ComposeTime is the MBR composition + optimization wall time (the
+	// paper's "Exec. Time" column measures these new steps).
+	ComposeTime time.Duration
+	// TotalTime is the whole flow, both measurements included.
+	TotalTime time.Duration
+}
+
+// Run executes the flow on the design in place. The design must be placed
+// and legal (bench.Generate output qualifies).
+func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
+	t0 := time.Now()
+	rep := &Report{Design: d.Name}
+	eng := sta.New(d)
+
+	// ---- Base measurement: build CTS, measure, tear down. ----
+	trees, err := buildCTS(d, cfg.CTS)
+	if err != nil {
+		return nil, fmt.Errorf("flow: base CTS: %w", err)
+	}
+	rep.Base, err = measure(d, eng, plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	removeCTS(trees)
+
+	// ---- Optional future-work step: decompose max-width MBRs so their
+	// bits can recompose with neighbours; leftovers are restored after
+	// composition. ----
+	var splitGroups []splitGroup
+	if cfg.DecomposeExisting {
+		var err error
+		splitGroups, err = decomposeMaxWidth(d, plan)
+		if err != nil {
+			return nil, fmt.Errorf("flow: decompose: %w", err)
+		}
+		rep.DecomposedMBRs = len(splitGroups)
+	}
+
+	// ---- Incremental MBR composition (ideal clocks, as post-place timing
+	// is analyzed before a tree exists). ----
+	eng.SetIdealClocks(true)
+	tc0 := time.Now()
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	g := compat.Build(d, res, plan, cfg.Compat)
+	cres, err := core.Compose(d, g, plan, cfg.Compose)
+	if err != nil {
+		return nil, fmt.Errorf("flow: compose: %w", err)
+	}
+	rep.Compose = cres
+
+	newMBRs := make([]*netlist.Inst, 0, len(cres.MBRs))
+	for _, m := range cres.MBRs {
+		newMBRs = append(newMBRs, m.Inst)
+	}
+
+	if cfg.DecomposeExisting {
+		n, err := restoreSplitLeftovers(d, plan, splitGroups)
+		if err != nil {
+			return nil, fmt.Errorf("flow: restore: %w", err)
+		}
+		rep.RestoredMBRs = n
+	}
+
+	// ---- Useful skew on the new MBRs (Fig. 4). ----
+	if cfg.UsefulSkew && len(newMBRs) > 0 {
+		res2, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		window := cfg.UsefulSkewWindowPS
+		if window <= 0 {
+			window = 150
+		}
+		rep.SkewedMBRs = eng.AssignUsefulSkew(newMBRs, res2, window)
+	}
+
+	// ---- MBR sizing. ----
+	if cfg.Sizing && len(newMBRs) > 0 {
+		n, err := resizeMBRs(d, eng, newMBRs, cfg.SizingMarginPS)
+		if err != nil {
+			return nil, err
+		}
+		rep.ResizedMBRs = n
+	}
+	rep.ComposeTime = time.Since(tc0)
+	eng.SetIdealClocks(false)
+
+	// ---- Rebuild CTS and measure "Ours". ----
+	if _, err := buildCTS(d, cfg.CTS); err != nil {
+		return nil, fmt.Errorf("flow: final CTS: %w", err)
+	}
+	rep.Ours, err = measure(d, eng, plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.TotalTime = time.Since(t0)
+	return rep, nil
+}
+
+// buildCTS builds one tree per clock net that has sinks, gated domains
+// first (their gate pins then become sinks of the root domain's tree).
+func buildCTS(d *netlist.Design, opts cts.Options) ([]*cts.Tree, error) {
+	var roots []*netlist.Net
+	d.Nets(func(n *netlist.Net) {
+		if n.IsClock && len(n.Sinks) > 0 {
+			roots = append(roots, n)
+		}
+	})
+	// Gated nets (driven by a clock gate) before the root net, so the root
+	// tree sees the gates' final positions... in our model gates don't
+	// move, so order only matters for determinism.
+	var trees []*cts.Tree
+	var buffers []*netlist.Inst
+	for _, n := range roots {
+		t, err := cts.Build(d, n, opts)
+		if err != nil {
+			for _, b := range trees {
+				b.Remove()
+			}
+			return nil, err
+		}
+		trees = append(trees, t)
+		buffers = append(buffers, t.Buffers...)
+	}
+	// Buffers were dropped at cluster centroids; give them legal sites.
+	place.LegalizeIncremental(d, buffers)
+	return trees, nil
+}
+
+func removeCTS(trees []*cts.Tree) {
+	// Remove in reverse build order so parents release their children.
+	for i := len(trees) - 1; i >= 0; i-- {
+		trees[i].Remove()
+	}
+}
+
+// measure snapshots the Table 1 metrics of the design's current state.
+func measure(d *netlist.Design, eng *sta.Engine, plan *scan.Plan, cfg Config) (Metrics, error) {
+	res, err := eng.Run()
+	if err != nil {
+		return Metrics{}, err
+	}
+	g := compat.Build(d, res, plan, cfg.Compat)
+	cm := cts.Measure(d)
+	congestion := route.Estimate(d, cfg.Route)
+	wlClk, wlSig := d.Wirelength()
+
+	return Metrics{
+		AreaUM2:          float64(d.TotalArea()) / 1e6, // 1 DBU = 1 nm
+		Cells:            d.NumInsts(),
+		TotalRegs:        len(d.Registers()),
+		CompRegs:         len(g.Regs),
+		ClkBufs:          cm.Buffers,
+		ClkCapPF:         cm.TotalCapFF / 1000,
+		TNSNS:            -res.TNS / 1000,
+		WNSPS:            res.WNS,
+		FailingEndpoints: res.FailingEndpoints,
+		TotalEndpoints:   res.TotalEndpoints,
+		OverflowEdges:    congestion.OverflowEdges(),
+		WLClkMM:          float64(wlClk) / 1e6,
+		WLSigMM:          float64(wlSig) / 1e6,
+	}, nil
+}
+
+// resizeMBRs downsizes composed MBRs whose timing headroom allows a weaker
+// (lower clock-cap, lower leakage) drive, then verifies with a full STA and
+// rolls every swap back if TNS degraded.
+func resizeMBRs(d *netlist.Design, eng *sta.Engine, mbrs []*netlist.Inst, marginPS float64) (int, error) {
+	res, err := eng.Run()
+	if err != nil {
+		return 0, err
+	}
+	var swaps []swapRecord
+	for _, in := range mbrs {
+		cur := in.RegCell
+		cands := d.Lib.CellsOfWidth(cur.Class, cur.Bits)
+		qs := sta.RegQSlack(d, res, in)
+		ds := sta.RegDSlack(d, res, in)
+		// Try the weakest candidate that keeps estimated slack positive.
+		var best *swapTarget
+		for _, c := range cands {
+			if c.DriveRes <= cur.DriveRes {
+				continue // not a downsize
+			}
+			var load float64
+			for b := 0; b < in.Bits(); b++ {
+				if q := d.QPin(in, b); q != nil && q.Net != netlist.NoID {
+					if l := d.NetLoadCap(d.Net(q.Net)); l > load {
+						load = l
+					}
+				}
+			}
+			extra := (c.DriveRes-cur.DriveRes)*load + (c.Intrinsic - cur.Intrinsic)
+			if qs-extra > marginPS && ds > marginPS {
+				if best == nil || c.DriveRes > best.cell.DriveRes {
+					best = &swapTarget{cell: c}
+				}
+			}
+		}
+		if best != nil {
+			old := in.RegCell
+			if err := d.ResizeRegister(in, best.cell); err != nil {
+				return 0, err
+			}
+			swaps = append(swaps, swapRecord{in, old})
+		}
+	}
+	if len(swaps) == 0 {
+		return 0, nil
+	}
+	after, err := eng.Run()
+	if err != nil {
+		return 0, err
+	}
+	if after.TNS < res.TNS-1e-9 {
+		// Sizing hurt: revert everything.
+		for _, s := range swaps {
+			if err := d.ResizeRegister(s.inst, s.old); err != nil {
+				return 0, err
+			}
+		}
+		return 0, nil
+	}
+	return len(swaps), nil
+}
+
+type swapRecord struct {
+	inst *netlist.Inst
+	old  *lib.Cell
+}
+
+type swapTarget struct {
+	cell *lib.Cell
+}
+
+// splitGroup remembers one decomposed MBR so leftover bits can be restored
+// after recomposition.
+type splitGroup struct {
+	class    lib.FuncClass
+	driveRes float64
+	parts    []netlist.InstID
+}
+
+// decomposeMaxWidth splits every movable register sitting at its class's
+// maximum library width into single-bit registers, updating the scan plan,
+// and legalizes the new cells incrementally.
+func decomposeMaxWidth(d *netlist.Design, plan *scan.Plan) ([]splitGroup, error) {
+	var victims []*netlist.Inst
+	for _, r := range d.Registers() {
+		if r.Fixed || r.SizeOnly || r.Bits() < 2 {
+			continue
+		}
+		class := r.RegCell.Class
+		if r.Bits() != d.Lib.MaxWidth(class) {
+			continue
+		}
+		if len(d.Lib.CellsOfWidth(class, 1)) == 0 {
+			continue
+		}
+		victims = append(victims, r)
+	}
+	var created []*netlist.Inst
+	var groups []splitGroup
+	for _, r := range victims {
+		cell := d.Lib.SelectCell(r.RegCell.Class, 1, r.RegCell.DriveRes)
+		origID := r.ID
+		class, res := r.RegCell.Class, r.RegCell.DriveRes
+		parts, err := d.SplitRegister(r, cell)
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]netlist.InstID, len(parts))
+		for i, p := range parts {
+			ids[i] = p.ID
+		}
+		if plan != nil {
+			if err := plan.ApplySplit(origID, ids); err != nil {
+				return nil, err
+			}
+		}
+		created = append(created, parts...)
+		groups = append(groups, splitGroup{class: class, driveRes: res, parts: ids})
+	}
+	// Deliberately NOT legalized here: the split bits sit on (and slightly
+	// past) the old MBR footprint, so candidate enumeration sees them as
+	// the tight clean groups they are. Scattering them first would strand
+	// bits behind blocked polygons. restoreSplitLeftovers legalizes
+	// whatever survives after recomposition.
+	_ = created
+	return groups, nil
+}
+
+// restoreSplitLeftovers re-merges the decomposed bits that recomposition
+// left as single-bit registers, so virtual decomposition can never end
+// worse than keeping the original MBRs. Survivors of one original MBR are
+// grouped into scan-compatible runs and merged into the smallest fitting
+// width. Returns the number of restore merges.
+func restoreSplitLeftovers(d *netlist.Design, plan *scan.Plan, groups []splitGroup) (int, error) {
+	restored := 0
+	var created []*netlist.Inst
+	for gi, g := range groups {
+		var survivors []*netlist.Inst
+		for _, id := range g.parts {
+			if in := d.Inst(id); in != nil && in.Bits() == 1 {
+				survivors = append(survivors, in)
+			}
+		}
+		// Chunk survivors into scan-compatible runs of at most maxWidth.
+		maxW := d.Lib.MaxWidth(g.class)
+		for len(survivors) >= 2 {
+			run := []*netlist.Inst{survivors[0]}
+			rest := survivors[1:]
+			for len(rest) > 0 && len(run) < maxW {
+				cand := append(run, rest[0])
+				if plan != nil {
+					ids := make([]netlist.InstID, len(cand))
+					for i, in := range cand {
+						ids[i] = in.ID
+					}
+					if !plan.GroupCompatible(ids) {
+						break
+					}
+				}
+				run = cand
+				rest = rest[1:]
+			}
+			survivors = rest
+			if len(run) < 2 {
+				continue
+			}
+			width, ok := d.Lib.SmallestWidthAtLeast(g.class, len(run))
+			if !ok {
+				continue
+			}
+			cell := d.Lib.SelectCell(g.class, width, g.driveRes)
+			var sx, sy int64
+			for _, in := range run {
+				sx += in.Pos.X
+				sy += in.Pos.Y
+			}
+			pos := geomSnap(d, sx/int64(len(run)), sy/int64(len(run)))
+			ids := make([]netlist.InstID, len(run))
+			for i, in := range run {
+				ids[i] = in.ID
+			}
+			mr, err := d.MergeRegisters(run, cell, fmt.Sprintf("restored_%d_%d", gi, restored), pos)
+			if err != nil {
+				return restored, err
+			}
+			if plan != nil {
+				if err := plan.ApplyMerge(ids, mr.MBR.ID); err != nil {
+					return restored, err
+				}
+			}
+			created = append(created, mr.MBR)
+			restored++
+		}
+	}
+	// Legalize everything the decomposition left behind: the restore
+	// merges and any stranded single bits (which were never given legal
+	// sites after the split).
+	for _, g := range groups {
+		for _, id := range g.parts {
+			if in := d.Inst(id); in != nil {
+				created = append(created, in)
+			}
+		}
+	}
+	place.LegalizeIncremental(d, created)
+	return restored, nil
+}
+
+func geomSnap(d *netlist.Design, x, y int64) (p geom.Point) {
+	p.X = d.Core.Lo.X + ((x-d.Core.Lo.X)/d.SiteW)*d.SiteW
+	p.Y = d.Core.Lo.Y + ((y-d.Core.Lo.Y)/d.RowH)*d.RowH
+	return p
+}

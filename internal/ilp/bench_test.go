@@ -1,0 +1,51 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// composition-shaped cover instance: elems registers, cols candidates with
+// 1-4 members, paper-style weights (1 for singletons, 1/bits for merges).
+func coverInstance(elems, cols int, seed int64) CoverInstance {
+	rng := rand.New(rand.NewSource(seed))
+	inst := CoverInstance{NumElems: elems}
+	for e := 0; e < elems; e++ {
+		inst.Sets = append(inst.Sets, CoverSet{Members: []int{e}, Weight: 1})
+	}
+	for c := 0; c < cols; c++ {
+		k := 2 + rng.Intn(3)
+		start := rng.Intn(elems)
+		var ms []int
+		for i := 0; i < k && start+i < elems; i++ {
+			ms = append(ms, start+i)
+		}
+		if len(ms) < 2 {
+			continue
+		}
+		inst.Sets = append(inst.Sets, CoverSet{Members: ms, Weight: 1 / float64(len(ms))})
+	}
+	return inst
+}
+
+// BenchmarkSolveCover30x500 is one §3.1 subgraph ILP at the paper's bound.
+func BenchmarkSolveCover30x500(b *testing.B) {
+	inst := coverInstance(30, 500, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveCover(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveCover30x3000 is a candidate-rich subgraph.
+func BenchmarkSolveCover30x3000(b *testing.B) {
+	inst := coverInstance(30, 3000, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveCover(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package netlist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+	"repro/internal/lib"
+)
+
+// The JSON design format captures everything bench.Generate produces:
+// geometry, timing environment, combinational cell models, instances and
+// connectivity. Register cells are referenced by library cell name, so the
+// reader needs the same library the writer used.
+
+type jsonPinRef struct {
+	Inst string `json:"inst"`
+	Kind int    `json:"kind"`
+	Bit  int    `json:"bit"`
+}
+
+type jsonNet struct {
+	Name    string       `json:"name"`
+	IsClock bool         `json:"clock,omitempty"`
+	Driver  *jsonPinRef  `json:"driver,omitempty"`
+	Sinks   []jsonPinRef `json:"sinks,omitempty"`
+}
+
+type jsonInst struct {
+	Name     string `json:"name"`
+	Kind     int    `json:"kind"`
+	Cell     string `json:"cell,omitempty"` // register cell name
+	Comb     string `json:"comb,omitempty"` // comb spec name
+	X        int64  `json:"x"`
+	Y        int64  `json:"y"`
+	Fixed    bool   `json:"fixed,omitempty"`
+	SizeOnly bool   `json:"sizeOnly,omitempty"`
+	Gate     int    `json:"gate,omitempty"`
+	ScanPart int    `json:"scanPart,omitempty"`
+	// IsInput records port direction for KindPort.
+	IsInput bool `json:"isInput,omitempty"`
+}
+
+type jsonDesign struct {
+	Name   string      `json:"name"`
+	Core   [4]int64    `json:"core"`
+	SiteW  int64       `json:"siteW"`
+	RowH   int64       `json:"rowH"`
+	Timing TimingSpec  `json:"timing"`
+	Combs  []*CombSpec `json:"combs"`
+	Insts  []jsonInst  `json:"insts"`
+	Nets   []jsonNet   `json:"nets"`
+}
+
+// WriteJSON serializes the design.
+func (d *Design) WriteJSON(w io.Writer) error {
+	jd := jsonDesign{
+		Name:   d.Name,
+		Core:   [4]int64{d.Core.Lo.X, d.Core.Lo.Y, d.Core.Hi.X, d.Core.Hi.Y},
+		SiteW:  d.SiteW,
+		RowH:   d.RowH,
+		Timing: d.Timing,
+	}
+	combSeen := map[string]bool{}
+	d.Insts(func(in *Inst) {
+		ji := jsonInst{
+			Name: in.Name, Kind: int(in.Kind), X: in.Pos.X, Y: in.Pos.Y,
+			Fixed: in.Fixed, SizeOnly: in.SizeOnly,
+			Gate: in.GateGroup, ScanPart: in.ScanPartition,
+		}
+		switch {
+		case in.RegCell != nil:
+			ji.Cell = in.RegCell.Name
+		case in.Comb != nil:
+			ji.Comb = in.Comb.Name
+			if !combSeen[in.Comb.Name] {
+				combSeen[in.Comb.Name] = true
+				jd.Combs = append(jd.Combs, in.Comb)
+			}
+		case in.Kind == KindPort:
+			if p := d.OutPin(in); p != nil {
+				ji.IsInput = true
+			}
+		}
+		jd.Insts = append(jd.Insts, ji)
+	})
+	d.Nets(func(n *Net) {
+		jn := jsonNet{Name: n.Name, IsClock: n.IsClock}
+		if n.Driver != NoID {
+			jn.Driver = d.pinRef(n.Driver)
+		}
+		for _, s := range n.Sinks {
+			jn.Sinks = append(jn.Sinks, *d.pinRef(s))
+		}
+		jd.Nets = append(jd.Nets, jn)
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(jd)
+}
+
+func (d *Design) pinRef(id PinID) *jsonPinRef {
+	p := d.Pin(id)
+	in := d.insts[p.Inst]
+	return &jsonPinRef{Inst: in.Name, Kind: int(p.Kind), Bit: p.Bit}
+}
+
+// ReadJSON reconstructs a design. The library must contain every register
+// cell the design references.
+func ReadJSON(r io.Reader, library *lib.Library) (*Design, error) {
+	var jd jsonDesign
+	if err := json.NewDecoder(r).Decode(&jd); err != nil {
+		return nil, fmt.Errorf("netlist: decode: %w", err)
+	}
+	core := geom.Rect{
+		Lo: geom.Point{X: jd.Core[0], Y: jd.Core[1]},
+		Hi: geom.Point{X: jd.Core[2], Y: jd.Core[3]},
+	}
+	d := NewDesign(jd.Name, core, library)
+	d.SiteW = jd.SiteW
+	d.RowH = jd.RowH
+	d.Timing = jd.Timing
+
+	combByName := map[string]*CombSpec{}
+	for _, c := range jd.Combs {
+		combByName[c.Name] = c
+	}
+	for _, ji := range jd.Insts {
+		pos := geom.Point{X: ji.X, Y: ji.Y}
+		var in *Inst
+		var err error
+		switch InstKind(ji.Kind) {
+		case KindReg:
+			cell := d.Lib.CellByName(ji.Cell)
+			if cell == nil {
+				return nil, fmt.Errorf("netlist: unknown register cell %q", ji.Cell)
+			}
+			in, err = d.AddRegister(ji.Name, cell, pos)
+		case KindComb:
+			spec := combByName[ji.Comb]
+			if spec == nil {
+				return nil, fmt.Errorf("netlist: unknown comb spec %q", ji.Comb)
+			}
+			in, err = d.AddComb(ji.Name, spec, pos)
+		case KindClockBuf:
+			spec := combByName[ji.Comb]
+			if spec == nil {
+				return nil, fmt.Errorf("netlist: unknown comb spec %q", ji.Comb)
+			}
+			in, err = d.AddClockBuf(ji.Name, spec, pos)
+		case KindClockGate:
+			spec := combByName[ji.Comb]
+			if spec == nil {
+				return nil, fmt.Errorf("netlist: unknown comb spec %q", ji.Comb)
+			}
+			in, err = d.AddClockGate(ji.Name, spec, pos)
+		case KindPort:
+			in, err = d.AddPort(ji.Name, ji.IsInput, pos)
+		default:
+			return nil, fmt.Errorf("netlist: unknown instance kind %d", ji.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		in.Fixed = ji.Fixed
+		in.SizeOnly = ji.SizeOnly
+		in.GateGroup = ji.Gate
+		in.ScanPartition = ji.ScanPart
+	}
+	for _, jn := range jd.Nets {
+		n := d.AddNet(jn.Name, jn.IsClock)
+		connect := func(ref jsonPinRef) error {
+			in := d.InstByName(ref.Inst)
+			if in == nil {
+				return fmt.Errorf("netlist: net %q references unknown instance %q", jn.Name, ref.Inst)
+			}
+			p := d.FindPin(in, PinKind(ref.Kind), ref.Bit)
+			if p == nil {
+				return fmt.Errorf("netlist: net %q: no pin %d/%d on %q", jn.Name, ref.Kind, ref.Bit, ref.Inst)
+			}
+			d.Connect(p, n)
+			return nil
+		}
+		if jn.Driver != nil {
+			if err := connect(*jn.Driver); err != nil {
+				return nil, err
+			}
+		}
+		for _, s := range jn.Sinks {
+			if err := connect(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist: loaded design invalid: %w", err)
+	}
+	return d, nil
+}

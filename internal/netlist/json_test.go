@@ -1,0 +1,94 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	d, r1, _ := buildPair(t)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadJSON(&buf, testLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumInsts() != d.NumInsts() || d2.NumNets() != d.NumNets() {
+		t.Fatalf("counts differ: insts %d/%d nets %d/%d",
+			d.NumInsts(), d2.NumInsts(), d.NumNets(), d2.NumNets())
+	}
+	// Positions and cells survive.
+	r1b := d2.InstByName(r1.Name)
+	if r1b == nil || r1b.Pos != r1.Pos || r1b.RegCell.Name != r1.RegCell.Name {
+		t.Fatal("register round trip failed")
+	}
+	// Connectivity: same HPWL per named net.
+	d.Nets(func(n *Net) {
+		n2 := findNet(d2, n.Name)
+		if n2 == nil {
+			t.Fatalf("net %q lost", n.Name)
+			return
+		}
+		if d.NetHPWL(n) != d2.NetHPWL(n2) {
+			t.Fatalf("net %q HPWL differs", n.Name)
+		}
+	})
+	// Timing spec survives.
+	if d2.Timing != d.Timing {
+		t.Fatal("timing spec lost")
+	}
+}
+
+func findNet(d *Design, name string) *Net {
+	var out *Net
+	d.Nets(func(n *Net) {
+		if n.Name == name {
+			out = n
+		}
+	})
+	return out
+}
+
+func TestJSONAttributesSurvive(t *testing.T) {
+	d, r1, r2 := buildPair(t)
+	r1.Fixed = true
+	r2.SizeOnly = true
+	r2.GateGroup = 3
+	r2.ScanPartition = 2
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadJSON(&buf, testLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.InstByName("r1").Fixed {
+		t.Fatal("Fixed lost")
+	}
+	b := d2.InstByName("r2")
+	if !b.SizeOnly || b.GateGroup != 3 || b.ScanPartition != 2 {
+		t.Fatalf("attributes lost: %+v", b)
+	}
+}
+
+func TestJSONUnknownCellRejected(t *testing.T) {
+	d, _, _ := buildPair(t)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(buf.String(), d.Registers()[0].RegCell.Name, "NOPE_X9", 1)
+	if _, err := ReadJSON(strings.NewReader(mangled), testLib); err == nil {
+		t.Fatal("unknown cell must be rejected")
+	}
+}
+
+func TestJSONGarbageRejected(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope"), testLib); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}

@@ -1,0 +1,145 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lib"
+)
+
+// buildMBRWithIO creates a 4-bit register with D/Q connected per bit.
+func buildMBRWithIO(t *testing.T) (*Design, *Inst) {
+	t.Helper()
+	d := newTestDesign()
+	clk := d.AddNet("clk", true)
+	rst := d.AddNet("rst", false)
+	cell := cellOf(t, 4)
+	r, err := d.AddRegister("mbr", cell, geom.Point{X: 10000, Y: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Connect(d.ClockPin(r), clk)
+	d.Connect(d.FindPin(r, PinReset, 0), rst)
+	for b := 0; b < 4; b++ {
+		ip, _ := d.AddPort(names("in", b), true, geom.Point{X: 0, Y: int64(b) * 100})
+		op, _ := d.AddPort(names("out", b), false, geom.Point{X: 90000, Y: int64(b) * 100})
+		dn := d.AddNet(names("d", b), false)
+		qn := d.AddNet(names("q", b), false)
+		d.Connect(d.OutPin(ip), dn)
+		d.Connect(d.DPin(r, b), dn)
+		d.Connect(d.QPin(r, b), qn)
+		d.Connect(d.FindPin(op, PinData, 0), qn)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d, r
+}
+
+func names(p string, b int) string { return p + string(rune('0'+b)) }
+
+func TestSplitRegister(t *testing.T) {
+	d, r := buildMBRWithIO(t)
+	clk := d.ClockNet(r)
+	rst := d.ControlNet(r, PinReset)
+	dNets := make([]NetID, 4)
+	qNets := make([]NetID, 4)
+	for b := 0; b < 4; b++ {
+		dNets[b] = d.DPin(r, b).Net
+		qNets[b] = d.QPin(r, b).Net
+	}
+	cell1 := cellOf(t, 1)
+	parts, err := d.SplitRegister(r, cell1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d want 4", len(parts))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for b, p := range parts {
+		if d.DPin(p, 0).Net != dNets[b] || d.QPin(p, 0).Net != qNets[b] {
+			t.Fatalf("bit %d rewire wrong", b)
+		}
+		if d.ClockNet(p) != clk || d.ControlNet(p, PinReset) != rst {
+			t.Fatalf("bit %d control rewire wrong", b)
+		}
+	}
+	if d.Inst(r.ID) != nil {
+		t.Fatal("original must be removed")
+	}
+	if got := len(d.Registers()); got != 4 {
+		t.Fatalf("register count = %d", got)
+	}
+}
+
+func TestSplitThenMergeRoundTrip(t *testing.T) {
+	d, r := buildMBRWithIO(t)
+	cell4 := r.RegCell
+	parts, err := d.SplitRegister(r, cellOf(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := d.MergeRegisters(parts, cell4, "remerged", geom.Point{X: 10000, Y: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mr.MBR.Bits() != 4 || mr.UnusedBits != 0 {
+		t.Fatalf("round trip produced %d bits, %d unused", mr.MBR.Bits(), mr.UnusedBits)
+	}
+	if len(d.Registers()) != 1 {
+		t.Fatal("round trip must end with one register")
+	}
+}
+
+func TestSplitRegisterValidation(t *testing.T) {
+	d, r := buildMBRWithIO(t)
+	cell1 := cellOf(t, 1)
+	// Wrong class.
+	other := testLib.CellsOfWidth(lib.FuncClass{Kind: lib.FlipFlop}, 1)[0]
+	if other.Class == r.RegCell.Class {
+		t.Fatal("test needs a different class")
+	}
+	if _, err := d.SplitRegister(r, other); err == nil {
+		t.Fatal("class mismatch must fail")
+	}
+	// Multi-bit target.
+	if _, err := d.SplitRegister(r, cellOf(t, 2)); err == nil {
+		t.Fatal("multi-bit target must fail")
+	}
+	// Fixed register.
+	r.Fixed = true
+	if _, err := d.SplitRegister(r, cell1); err == nil {
+		t.Fatal("fixed register must not split")
+	}
+	r.Fixed = false
+	// Single-bit register.
+	one, _ := d.AddRegister("one", cell1, geom.Point{})
+	if _, err := d.SplitRegister(one, cell1); err == nil {
+		t.Fatal("single-bit register must not split")
+	}
+}
+
+func TestSplitIncompleteMBRSkipsTiedOffBits(t *testing.T) {
+	d, r1, r2 := buildPair(t)
+	// Merge 2 regs into a 4-bit (2 tied-off bits), then split: only 2 parts.
+	mr, err := d.MergeRegisters([]*Inst{r1, r2}, cellOf(t, 4), "m", geom.Point{X: 2000, Y: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := d.SplitRegister(mr.MBR, cellOf(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d want 2 (tied-off bits skipped)", len(parts))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,319 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/scanner"
+
+	"repro/internal/geom"
+	"repro/internal/lib"
+)
+
+// ReadVerilog parses the structural subset WriteVerilog emits: one module,
+// input/output/wire declarations, attributed cell instances with named
+// port connections. Register cells are resolved against the library,
+// combinational cells against combs (keyed by sanitized cell name).
+//
+// The core rectangle and timing environment are not part of Verilog; pass
+// the intended core (the mbrc_x/mbrc_y attributes position instances
+// within it) and set Design.Timing afterwards.
+func ReadVerilog(r io.Reader, library *lib.Library, combs map[string]*CombSpec, core geom.Rect) (*Design, error) {
+	p := &vparser{combs: combs}
+	p.s.Init(r)
+	p.s.Mode = scanner.ScanIdents | scanner.ScanInts | scanner.ScanStrings | scanner.SkipComments | scanner.ScanComments
+	p.s.Error = func(_ *scanner.Scanner, msg string) { p.fail(msg) }
+	d := NewDesign("verilog", core, library)
+	if err := p.parse(d); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist: parsed design invalid: %w", err)
+	}
+	return d, nil
+}
+
+type vparser struct {
+	s     scanner.Scanner
+	combs map[string]*CombSpec
+	err   error
+
+	tok  rune
+	text string
+}
+
+func (p *vparser) fail(msg string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("netlist: verilog line %d: %s", p.s.Pos().Line, msg)
+	}
+}
+
+func (p *vparser) next() {
+	p.tok = p.s.Scan()
+	p.text = p.s.TokenText()
+	if p.tok == scanner.Comment {
+		p.next()
+	}
+}
+
+func (p *vparser) expect(lit string) {
+	if p.err != nil {
+		return
+	}
+	if p.text != lit {
+		p.fail(fmt.Sprintf("expected %q, got %q", lit, p.text))
+		return
+	}
+	p.next()
+}
+
+func (p *vparser) ident() string {
+	if p.err != nil {
+		return ""
+	}
+	if p.tok != scanner.Ident {
+		p.fail(fmt.Sprintf("expected identifier, got %q", p.text))
+		return ""
+	}
+	id := p.text
+	p.next()
+	return id
+}
+
+func (p *vparser) parse(d *Design) error {
+	p.next()
+	p.expect("module")
+	d.Name = p.ident()
+	p.expect("(")
+	portOrder := []string{}
+	for p.err == nil && p.text != ")" {
+		portOrder = append(portOrder, p.ident())
+		if p.text == "," {
+			p.next()
+		}
+	}
+	p.expect(")")
+	p.expect(";")
+
+	portDir := map[string]bool{} // name → isInput
+	nets := map[string]*Net{}
+	getNetC := func(name string, clock bool) *Net {
+		if n, ok := nets[name]; ok {
+			return n
+		}
+		n := d.AddNet(name, clock)
+		nets[name] = n
+		return n
+	}
+	// Nets referenced without a declared wire (port nets) fall back to a
+	// name heuristic for clock-ness; declared wires carry an explicit
+	// (* mbrc_clock *) attribute.
+	getNet := func(name string) *Net {
+		return getNetC(name, strings.Contains(strings.ToLower(name), "clk"))
+	}
+
+	var pendingAttrs map[string]string
+	for p.err == nil && p.text != "endmodule" {
+		switch p.text {
+		case "input", "output":
+			isInput := p.text == "input"
+			p.next()
+			for p.err == nil {
+				name := p.ident()
+				portDir[name] = isInput
+				if p.text != "," {
+					break
+				}
+				p.next()
+			}
+			p.expect(";")
+		case "wire":
+			clock := pendingAttrs["mbrc_clock"] == "1"
+			pendingAttrs = nil
+			p.next()
+			for p.err == nil {
+				getNetC(p.ident(), clock)
+				if p.text != "," {
+					break
+				}
+				p.next()
+			}
+			p.expect(";")
+		case "(":
+			// (* attr = v, ... *)
+			pendingAttrs = p.parseAttrs()
+		default:
+			if p.tok != scanner.Ident {
+				p.fail(fmt.Sprintf("unexpected token %q", p.text))
+				break
+			}
+			if err := p.parseInstance(d, getNet, pendingAttrs); err != nil {
+				return err
+			}
+			pendingAttrs = nil
+		}
+	}
+	if p.err != nil {
+		return p.err
+	}
+
+	// Create ports (after nets exist) and connect them.
+	for _, name := range portOrder {
+		isInput, ok := portDir[name]
+		if !ok {
+			return fmt.Errorf("netlist: verilog: port %q has no direction", name)
+		}
+		in, err := d.AddPort(name, isInput, geom.Point{X: d.Core.Lo.X, Y: d.Core.Lo.Y})
+		if err != nil {
+			return err
+		}
+		if n, ok := nets[name]; ok {
+			d.Connect(d.Pin(in.Pins[0]), n)
+		} else {
+			// The port's net is referenced by instance connections under
+			// the port name; create it now.
+			d.Connect(d.Pin(in.Pins[0]), getNet(name))
+		}
+	}
+	return nil
+}
+
+// parseAttrs parses (* k = v, k2 = "v2" *).
+func (p *vparser) parseAttrs() map[string]string {
+	out := map[string]string{}
+	p.expect("(")
+	p.expect("*")
+	for p.err == nil && p.text != "*" {
+		key := p.ident()
+		val := "1"
+		if p.text == "=" {
+			p.next()
+			val = strings.Trim(p.text, "\"")
+			p.next()
+		}
+		out[key] = val
+		if p.text == "," {
+			p.next()
+		}
+	}
+	p.expect("*")
+	p.expect(")")
+	return out
+}
+
+func (p *vparser) parseInstance(d *Design, getNet func(string) *Net, attrs map[string]string) error {
+	cellName := p.ident()
+	instName := p.ident()
+	p.expect("(")
+	type conn struct{ pin, net string }
+	var conns []conn
+	for p.err == nil && p.text != ")" {
+		p.expect(".")
+		pin := p.ident()
+		p.expect("(")
+		net := p.ident()
+		p.expect(")")
+		conns = append(conns, conn{pin, net})
+		if p.text == "," {
+			p.next()
+		}
+	}
+	p.expect(")")
+	p.expect(";")
+	if p.err != nil {
+		return p.err
+	}
+
+	kind := attrs["mbrc_kind"]
+	pos := geom.Point{
+		X: atoiDefault(attrs["mbrc_x"], d.Core.Lo.X),
+		Y: atoiDefault(attrs["mbrc_y"], d.Core.Lo.Y),
+	}
+	var in *Inst
+	var err error
+	if cell := d.Lib.CellByName(cellName); cell != nil {
+		in, err = d.AddRegister(instName, cell, pos)
+	} else if spec, ok := p.combs[cellName]; ok {
+		switch kind {
+		case "clkbuf":
+			in, err = d.AddClockBuf(instName, spec, pos)
+		case "clkgate":
+			in, err = d.AddClockGate(instName, spec, pos)
+		default:
+			in, err = d.AddComb(instName, spec, pos)
+		}
+	} else {
+		return fmt.Errorf("netlist: verilog: unknown cell %q", cellName)
+	}
+	if err != nil {
+		return err
+	}
+	in.Fixed = attrs["mbrc_fixed"] == "1"
+	in.SizeOnly = attrs["mbrc_size_only"] == "1"
+	in.GateGroup = int(atoiDefault(attrs["mbrc_gate"], -1))
+	in.ScanPartition = int(atoiDefault(attrs["mbrc_scan_part"], -1))
+
+	for _, c := range conns {
+		pin := findVerilogPin(d, in, c.pin)
+		if pin == nil {
+			return fmt.Errorf("netlist: verilog: instance %q has no pin %q", instName, c.pin)
+		}
+		d.Connect(pin, getNet(c.net))
+	}
+	return nil
+}
+
+func atoiDefault(s string, def int64) int64 {
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// findVerilogPin reverses verilogPinName.
+func findVerilogPin(d *Design, in *Inst, name string) *Pin {
+	kind, bit := PinData, 0
+	switch {
+	case name == "CK":
+		kind = PinClock
+	case name == "RST":
+		kind = PinReset
+	case name == "EN":
+		kind = PinEnable
+	case name == "SE":
+		kind = PinScanEnable
+	case name == "Y":
+		kind = PinOut
+	case strings.HasPrefix(name, "SI"):
+		kind = PinScanIn
+		bit = atoiSuffix(name[2:])
+	case strings.HasPrefix(name, "SO"):
+		kind = PinScanOut
+		bit = atoiSuffix(name[2:])
+	case strings.HasPrefix(name, "D"):
+		kind = PinData
+		bit = atoiSuffix(name[1:])
+	case strings.HasPrefix(name, "Q"):
+		kind = PinOut
+		bit = atoiSuffix(name[1:])
+	case strings.HasPrefix(name, "A"):
+		kind = PinData
+		bit = atoiSuffix(name[1:])
+	default:
+		return nil
+	}
+	return d.FindPin(in, kind, bit)
+}
+
+func atoiSuffix(s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,181 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestVerilogWriteBasics(t *testing.T) {
+	d, _, _ := buildPair(t)
+	var buf bytes.Buffer
+	if err := d.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module t (", "endmodule",
+		"input in_a;", "output out_a;",
+		".D0(", ".Q0(", ".CK(", ".RST(",
+		"mbrc_kind = \"reg\"",
+		"(* mbrc_clock = 1 *) wire",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q in output:\n%s", want, v)
+		}
+	}
+}
+
+func TestVerilogRoundTrip(t *testing.T) {
+	d, r1, r2 := buildPair(t)
+	r1.Fixed = true
+	r2.GateGroup = 2
+	var buf bytes.Buffer
+	if err := d.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadVerilog(&buf, testLib, nil, d.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumInsts() != d.NumInsts() || d2.NumNets() != d.NumNets() {
+		t.Fatalf("counts: insts %d/%d nets %d/%d",
+			d.NumInsts(), d2.NumInsts(), d.NumNets(), d2.NumNets())
+	}
+	r1b := d2.InstByName("r1")
+	if r1b == nil || !r1b.Fixed || r1b.Pos != r1.Pos || r1b.RegCell.Name != r1.RegCell.Name {
+		t.Fatalf("r1 round trip: %+v", r1b)
+	}
+	if d2.InstByName("r2").GateGroup != 2 {
+		t.Fatal("gate group lost")
+	}
+	// Clock net stays a clock net.
+	cn := d2.Net(d2.ClockNet(r1b))
+	if cn == nil || !cn.IsClock {
+		t.Fatal("clock net attribute lost")
+	}
+	// Connectivity: D pin of r1 still driven by in_a's net.
+	dp := d2.DPin(r1b, 0)
+	n := d2.Net(dp.Net)
+	if n.Driver == NoID {
+		t.Fatal("d net driverless after round trip")
+	}
+	drv := d2.Inst(d2.Pin(n.Driver).Inst)
+	if drv.Kind != KindPort {
+		t.Fatalf("driver kind = %v", drv.Kind)
+	}
+}
+
+func TestVerilogRoundTripWithCombAndBuffers(t *testing.T) {
+	d := newTestDesign()
+	spec := &CombSpec{Name: "NAND2_X1", NumInputs: 2, DriveRes: 5, Intrinsic: 15, InCap: 0.6, Width: 600, Height: 1200}
+	clkbufSpec := &CombSpec{Name: "CLKBUF_X4", NumInputs: 1, DriveRes: 2, Intrinsic: 18, InCap: 1.5, Width: 800, Height: 1200}
+	g, err := d.AddComb("u1", spec, geom.Point{X: 5000, Y: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := d.AddClockBuf("cb1", clkbufSpec, geom.Point{X: 8000, Y: 2400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := d.AddPort("a", true, geom.Point{})
+	b, _ := d.AddPort("b", true, geom.Point{X: 0, Y: 100})
+	y, _ := d.AddPort("y", false, geom.Point{X: 90000, Y: 0})
+	na := d.AddNet("na", false)
+	nb := d.AddNet("nb", false)
+	ny := d.AddNet("ny", false)
+	clkIn := d.AddNet("clk_in", true)
+	clkOut := d.AddNet("clk_out", true)
+	cp, _ := d.AddPort("clkp", true, geom.Point{X: 0, Y: 200})
+	d.Connect(d.OutPin(cp), clkIn)
+	d.Connect(d.FindPin(cb, PinData, 0), clkIn)
+	d.Connect(d.OutPin(cb), clkOut)
+	d.Connect(d.OutPin(a), na)
+	d.Connect(d.OutPin(b), nb)
+	d.Connect(d.FindPin(g, PinData, 0), na)
+	d.Connect(d.FindPin(g, PinData, 1), nb)
+	d.Connect(d.OutPin(g), ny)
+	d.Connect(d.FindPin(y, PinData, 0), ny)
+
+	var buf bytes.Buffer
+	if err := d.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	combs := map[string]*CombSpec{"NAND2_X1": spec, "CLKBUF_X4": clkbufSpec}
+	d2, err := ReadVerilog(&buf, testLib, combs, d.Core)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	u1 := d2.InstByName("u1")
+	if u1 == nil || u1.Kind != KindComb || u1.Comb.Name != "NAND2_X1" {
+		t.Fatalf("comb round trip: %+v", u1)
+	}
+	cb1 := d2.InstByName("cb1")
+	if cb1 == nil || cb1.Kind != KindClockBuf {
+		t.Fatalf("clkbuf kind lost: %+v", cb1)
+	}
+	if d2.NumNets() != d.NumNets() {
+		t.Fatalf("nets %d want %d", d2.NumNets(), d.NumNets())
+	}
+}
+
+func TestVerilogUnknownCell(t *testing.T) {
+	src := `module m (a);
+  input a;
+  MYSTERY_X1 u1 (.A0(a));
+endmodule
+`
+	if _, err := ReadVerilog(strings.NewReader(src), testLib, nil, geom.RectWH(0, 0, 1000, 1000)); err == nil {
+		t.Fatal("unknown cell must be rejected")
+	}
+}
+
+func TestVerilogSyntaxError(t *testing.T) {
+	src := "module m a; endmodule"
+	if _, err := ReadVerilog(strings.NewReader(src), testLib, nil, geom.RectWH(0, 0, 1000, 1000)); err == nil {
+		t.Fatal("syntax error must be reported")
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	cases := map[string]string{
+		"abc":    "abc",
+		"a.b/c":  "a_b_c",
+		"1abc":   "_abc",
+		"":       "_",
+		"d_$ok9": "d_$ok9",
+		"q[3]":   "q_3_",
+	}
+	for in, want := range cases {
+		if got := sanitizeID(in); got != want {
+			t.Errorf("sanitizeID(%q) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestVerilogRoundTripIncompleteMBR(t *testing.T) {
+	d, r1, r2 := buildPair(t)
+	mr, err := d.MergeRegisters([]*Inst{r1, r2}, cellOf(t, 4), "m", geom.Point{X: 2000, Y: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadVerilog(&buf, testLib, nil, d.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := d2.InstByName("m")
+	if m2 == nil || m2.Bits() != 4 {
+		t.Fatal("incomplete MBR lost")
+	}
+	// Tied-off bits stay unconnected.
+	if d2.DPin(m2, 2).Net != NoID || d2.DPin(m2, 3).Net != NoID {
+		t.Fatal("tied-off bits must stay unconnected")
+	}
+	_ = mr
+}

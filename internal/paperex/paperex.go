@@ -1,0 +1,116 @@
+// Package paperex builds the paper's running example — the six registers
+// A..F of Fig. 1/Fig. 2 with the {1,2,3,4,8}-bit example library — for use
+// by tests and the paperrepro tool. The placement is chosen so that exactly
+// the blockage relations of Fig. 3 hold: register D blocks the BC, ABC and
+// BCF polygons, and every other candidate polygon is clean.
+package paperex
+
+import (
+	"fmt"
+
+	"repro/internal/compat"
+	"repro/internal/geom"
+	"repro/internal/lib"
+	"repro/internal/netlist"
+)
+
+// Names of the example registers in node order.
+var Names = []string{"A", "B", "C", "D", "E", "F"}
+
+// Edges of the Fig. 1 compatibility graph.
+var Edges = [][2]string{
+	{"A", "B"}, {"A", "C"}, {"A", "D"}, {"A", "E"},
+	{"B", "C"}, {"B", "D"}, {"B", "F"},
+	{"C", "D"}, {"C", "E"}, {"C", "F"},
+}
+
+// Library builds the example's {1,2,3,4,8}-bit register library. When
+// small8 is true the 8-bit cell is shrunk so incomplete MBRs pass the §3
+// area-per-bit rule (as Fig. 3 assumes); with false, realistic proportions
+// make the area rule reject them (the paper's closing remark about AE).
+func Library(small8 bool) *lib.Library {
+	class := lib.FuncClass{Kind: lib.FlipFlop}
+	l := lib.NewLibrary("paper-example")
+	for _, bits := range []int{1, 2, 3, 4, 8} {
+		w := int64(bits) * 1000
+		if small8 && bits == 8 {
+			w = 4500
+		}
+		dp := make([]lib.PinOffset, bits)
+		qp := make([]lib.PinOffset, bits)
+		for b := 0; b < bits; b++ {
+			x := w * int64(2*b+1) / int64(2*bits)
+			dp[b] = lib.PinOffset{DX: x, DY: 250}
+			qp[b] = lib.PinOffset{DX: x, DY: 750}
+		}
+		l.MustAdd(&lib.Cell{
+			Name:  fmt.Sprintf("R%d", bits),
+			Class: class, Bits: bits, Drive: 1,
+			Area: w * 1000, Width: w, Height: 1000,
+			ClkCap: 1, DPinCap: 0.5, DriveRes: 6, Intrinsic: 50, Setup: 30,
+			DPins: dp, QPins: qp, ClkPin: lib.PinOffset{DX: w / 2, DY: 500},
+		})
+	}
+	return l
+}
+
+// Design places A..D (1-bit), E (4-bit) and F (2-bit) per Fig. 2.
+func Design(small8 bool) (*netlist.Design, map[string]*netlist.Inst, error) {
+	l := Library(small8)
+	d := netlist.NewDesign("paper-example", geom.RectWH(0, 0, 40000, 20000), l)
+	d.SiteW = 100
+	d.RowH = 1000
+	d.Timing.ClockPeriod = 1000
+	clk := d.AddNet("clk", true)
+	class := lib.FuncClass{Kind: lib.FlipFlop}
+	regs := map[string]*netlist.Inst{}
+	add := func(name string, bits int, x, y int64) error {
+		r, err := d.AddRegister(name, l.CellsOfWidth(class, bits)[0], geom.Point{X: x, Y: y})
+		if err != nil {
+			return err
+		}
+		d.Connect(d.ClockPin(r), clk)
+		regs[name] = r
+		return nil
+	}
+	type reg struct {
+		name string
+		bits int
+		x, y int64
+	}
+	for _, r := range []reg{
+		{"A", 1, 10000, 3000},
+		{"B", 1, 13000, 3000},
+		{"C", 1, 13000, 0},
+		{"D", 1, 13200, 1500},
+		{"E", 4, 5000, 1000},
+		{"F", 2, 15000, 2000},
+	} {
+		if err := add(r.name, r.bits, r.x, r.y); err != nil {
+			return nil, nil, err
+		}
+	}
+	return d, regs, nil
+}
+
+// Graph wires the Fig. 1 compatibility graph by hand. Regions are the whole
+// core — the example exercises weighting and selection, not region
+// derivation.
+func Graph(d *netlist.Design, regs map[string]*netlist.Inst) *compat.Graph {
+	g := &compat.Graph{Excluded: map[netlist.InstID]compat.NotComposableReason{}}
+	idx := map[string]int{}
+	for i, n := range Names {
+		in := regs[n]
+		g.Regs = append(g.Regs, &compat.RegInfo{
+			Inst: in, Region: d.Core, ClockPos: in.Center(),
+		})
+		idx[n] = i
+	}
+	g.Adj = make([][]int, len(Names))
+	for _, e := range Edges {
+		u, v := idx[e[0]], idx[e[1]]
+		g.Adj[u] = append(g.Adj[u], v)
+		g.Adj[v] = append(g.Adj[v], u)
+	}
+	return g
+}

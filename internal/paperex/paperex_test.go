@@ -1,0 +1,113 @@
+package paperex
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestDesignShape(t *testing.T) {
+	d, regs, err := Design(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 6 {
+		t.Fatalf("registers = %d want 6", len(regs))
+	}
+	wantBits := map[string]int{"A": 1, "B": 1, "C": 1, "D": 1, "E": 4, "F": 2}
+	for name, bits := range wantBits {
+		r := regs[name]
+		if r == nil || r.Bits() != bits {
+			t.Fatalf("%s bits = %v want %d", name, r, bits)
+		}
+	}
+}
+
+func TestLibraryWidths(t *testing.T) {
+	l := Library(false)
+	cells := l.Cells()
+	if len(cells) != 5 {
+		t.Fatalf("cells = %d want 5", len(cells))
+	}
+	// small8 shrinks only the 8-bit cell.
+	s := Library(true)
+	var a8, s8 int64
+	for _, c := range l.Cells() {
+		if c.Bits == 8 {
+			a8 = c.Area
+		}
+	}
+	for _, c := range s.Cells() {
+		if c.Bits == 8 {
+			s8 = c.Area
+		}
+	}
+	if s8 >= a8 {
+		t.Fatalf("small8 cell area %d not smaller than %d", s8, a8)
+	}
+}
+
+func TestGraphMatchesFig1(t *testing.T) {
+	d, regs, err := Design(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Graph(d, regs)
+	if len(g.Regs) != 6 {
+		t.Fatalf("nodes = %d", len(g.Regs))
+	}
+	edges := 0
+	for _, a := range g.Adj {
+		edges += len(a)
+	}
+	if edges/2 != len(Edges) {
+		t.Fatalf("edges = %d want %d", edges/2, len(Edges))
+	}
+	// Regions cover the whole core (the example doesn't constrain them).
+	for i, ri := range g.Regs {
+		if ri.Region != d.Core {
+			t.Fatalf("node %d region = %v", i, ri.Region)
+		}
+		if ri.ClockPos == (geom.Point{}) {
+			t.Fatalf("node %d missing clock position", i)
+		}
+	}
+}
+
+// TestFig2BlockageGeometry pins the placement facts the Fig. 3 weights
+// depend on: D's center lies inside the B∪C and B∪C∪F corner hulls but not
+// inside A∪B or C∪F.
+func TestFig2BlockageGeometry(t *testing.T) {
+	d, regs, err := Design(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d
+	hullOf := func(names ...string) []geom.Point {
+		var pts []geom.Point
+		for _, n := range names {
+			c := regs[n].Bounds().Corners()
+			pts = append(pts, c[:]...)
+		}
+		return geom.ConvexHull(pts)
+	}
+	dCenter := regs["D"].Center()
+	if !geom.PolygonContains(hullOf("B", "C"), dCenter) {
+		t.Error("D must block the BC polygon")
+	}
+	if !geom.PolygonContains(hullOf("B", "C", "F"), dCenter) {
+		t.Error("D must block the BCF polygon")
+	}
+	if geom.PolygonContains(hullOf("A", "B"), dCenter) {
+		t.Error("D must not block the AB polygon")
+	}
+	if geom.PolygonContains(hullOf("C", "F"), dCenter) {
+		t.Error("D must not block the CF polygon")
+	}
+	if geom.PolygonContains(hullOf("A", "C", "E"), dCenter) {
+		t.Error("D must not block the ACE polygon")
+	}
+}

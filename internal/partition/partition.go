@@ -1,0 +1,101 @@
+// Package partition decomposes the register compatibility graph before
+// clique enumeration (§3): connected components first, then K-partitioning
+// of oversized components driven by the position of the register clock
+// pins, so that each resulting subgraph stays below the node bound (the
+// paper uses 30; below 20 QoR drops, above 30 runtime is wasted).
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// ConnectedComponents returns the connected components of an undirected
+// graph on n nodes given as adjacency lists. Components are sorted by their
+// smallest node, members ascending.
+func ConnectedComponents(n int, adj [][]int) [][]int {
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var out [][]int
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := len(out)
+		stack := []int{s}
+		comp[s] = id
+		var members []int
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, u)
+			for _, v := range adj[u] {
+				if comp[v] == -1 {
+					comp[v] = id
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	return out
+}
+
+// GeometricSplit recursively bisects the node set along the longer axis of
+// its position bounding box (median split) until every part has at most
+// maxNodes nodes. Splitting by clock-pin position keeps geometrically close
+// registers — the ones whose merge shortens clock wiring most — in the same
+// subproblem.
+//
+// The result is deterministic; parts preserve relative position order and
+// are returned left/bottom first.
+func GeometricSplit(nodes []int, pos func(int) geom.Point, maxNodes int) [][]int {
+	if maxNodes < 1 {
+		maxNodes = 1
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	if len(nodes) <= maxNodes {
+		return [][]int{append([]int(nil), nodes...)}
+	}
+	pts := make([]geom.Point, len(nodes))
+	for i, n := range nodes {
+		pts[i] = pos(n)
+	}
+	bb := geom.BoundingBox(pts)
+	byX := bb.W() >= bb.H()
+	sorted := append([]int(nil), nodes...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		pi, pj := pos(sorted[i]), pos(sorted[j])
+		if byX {
+			if pi.X != pj.X {
+				return pi.X < pj.X
+			}
+			return pi.Y < pj.Y
+		}
+		if pi.Y != pj.Y {
+			return pi.Y < pj.Y
+		}
+		return pi.X < pj.X
+	})
+	mid := len(sorted) / 2
+	left := GeometricSplit(sorted[:mid], pos, maxNodes)
+	right := GeometricSplit(sorted[mid:], pos, maxNodes)
+	return append(left, right...)
+}
+
+// Decompose combines both steps: connected components of (n, adj), then
+// geometric splitting of any component larger than maxNodes. Every returned
+// subgraph has between 1 and maxNodes nodes.
+func Decompose(n int, adj [][]int, pos func(int) geom.Point, maxNodes int) [][]int {
+	var out [][]int
+	for _, comp := range ConnectedComponents(n, adj) {
+		out = append(out, GeometricSplit(comp, pos, maxNodes)...)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	// 0-1-2, 3-4, 5 alone.
+	adj := [][]int{{1}, {0, 2}, {1}, {4}, {3}, {}}
+	comps := ConnectedComponents(6, adj)
+	if len(comps) != 3 {
+		t.Fatalf("components = %d want 3", len(comps))
+	}
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v want %v", i, comps[i], want[i])
+			}
+		}
+	}
+}
+
+func TestConnectedComponentsEmpty(t *testing.T) {
+	if got := ConnectedComponents(0, nil); len(got) != 0 {
+		t.Fatalf("empty graph → %v", got)
+	}
+}
+
+func TestGeometricSplitRespectsBound(t *testing.T) {
+	nodes := make([]int, 100)
+	pts := make([]geom.Point, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range nodes {
+		nodes[i] = i
+		pts[i] = geom.Point{X: int64(rng.Intn(10000)), Y: int64(rng.Intn(10000))}
+	}
+	parts := GeometricSplit(nodes, func(i int) geom.Point { return pts[i] }, 30)
+	total := 0
+	seen := map[int]bool{}
+	for _, p := range parts {
+		if len(p) > 30 || len(p) == 0 {
+			t.Fatalf("part size %d out of bounds", len(p))
+		}
+		total += len(p)
+		for _, n := range p {
+			if seen[n] {
+				t.Fatalf("node %d in two parts", n)
+			}
+			seen[n] = true
+		}
+	}
+	if total != 100 {
+		t.Fatalf("nodes lost: %d", total)
+	}
+}
+
+func TestGeometricSplitKeepsNeighborsTogether(t *testing.T) {
+	// Two far-apart clusters of 10: a split with bound 10 must cut between
+	// the clusters, not through them.
+	var nodes []int
+	var pts []geom.Point
+	for i := 0; i < 10; i++ {
+		nodes = append(nodes, i)
+		pts = append(pts, geom.Point{X: int64(i * 10), Y: 0})
+	}
+	for i := 0; i < 10; i++ {
+		nodes = append(nodes, 10+i)
+		pts = append(pts, geom.Point{X: int64(1000000 + i*10), Y: 0})
+	}
+	parts := GeometricSplit(nodes, func(i int) geom.Point { return pts[i] }, 10)
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d want 2", len(parts))
+	}
+	for _, p := range parts {
+		left, right := 0, 0
+		for _, n := range p {
+			if n < 10 {
+				left++
+			} else {
+				right++
+			}
+		}
+		if left != 0 && right != 0 {
+			t.Fatalf("split cut through a cluster: %v", p)
+		}
+	}
+}
+
+func TestGeometricSplitSmallInput(t *testing.T) {
+	parts := GeometricSplit([]int{7}, func(int) geom.Point { return geom.Point{} }, 30)
+	if len(parts) != 1 || len(parts[0]) != 1 || parts[0][0] != 7 {
+		t.Fatalf("singleton split = %v", parts)
+	}
+	if GeometricSplit(nil, nil, 30) != nil {
+		t.Fatal("empty split should be nil")
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	// A 50-node path (one component) plus 5 isolated nodes.
+	n := 55
+	adj := make([][]int, n)
+	for i := 0; i+1 < 50; i++ {
+		adj[i] = append(adj[i], i+1)
+		adj[i+1] = append(adj[i+1], i)
+	}
+	pos := func(i int) geom.Point { return geom.Point{X: int64(i * 100), Y: 0} }
+	parts := Decompose(n, adj, pos, 30)
+	seen := map[int]bool{}
+	for _, p := range parts {
+		if len(p) > 30 {
+			t.Fatalf("oversized part: %d", len(p))
+		}
+		for _, x := range p {
+			if seen[x] {
+				t.Fatalf("duplicate node %d", x)
+			}
+			seen[x] = true
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("nodes covered = %d want %d", len(seen), n)
+	}
+	// The path must be split into ≥ 2 parts, isolated nodes are singletons.
+	if len(parts) < 2+5 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+}
+
+// Property: Decompose partitions the node set exactly (no loss, no dup) and
+// respects the bound for arbitrary graphs.
+func TestDecomposeIsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(80)
+		adj := make([][]int, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(10) == 0 {
+					adj[i] = append(adj[i], j)
+					adj[j] = append(adj[j], i)
+				}
+			}
+		}
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: int64(rng.Intn(1000)), Y: int64(rng.Intn(1000))}
+		}
+		bound := 1 + rng.Intn(40)
+		parts := Decompose(n, adj, func(i int) geom.Point { return pts[i] }, bound)
+		seen := map[int]bool{}
+		for _, p := range parts {
+			if len(p) == 0 || len(p) > bound {
+				return false
+			}
+			for _, x := range p {
+				if seen[x] {
+					return false
+				}
+				seen[x] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

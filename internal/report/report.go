@@ -1,0 +1,106 @@
+// Package report renders the paper's tables and figures as text: Table 1
+// rows (Base / Ours / Save%), the Fig. 5 bit-width histograms and the
+// Fig. 6 normalized-register comparison.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/flow"
+)
+
+// Table1Header writes the column header of the Table 1 reproduction.
+func Table1Header(w io.Writer) {
+	fmt.Fprintf(w, "%-6s %-5s %10s %8s %8s %8s %7s %9s %9s %9s %7s %9s %9s %8s\n",
+		"Design", "Row", "Area(um2)", "Cells", "TotRegs", "CompRegs",
+		"ClkBufs", "ClkCap(pF)", "TNS(ns)", "FailEP", "Ovfl", "WLclk(mm)", "WLsig(mm)", "Exec")
+	fmt.Fprintln(w, strings.Repeat("-", 132))
+}
+
+// Table1Rows writes the Base / Ours / Save rows for one design report.
+func Table1Rows(w io.Writer, rep *flow.Report) {
+	row := func(label string, m flow.Metrics, exec string) {
+		fmt.Fprintf(w, "%-6s %-5s %10.0f %8d %8d %8d %7d %9.1f %9.2f %9d %7d %9.2f %9.2f %8s\n",
+			rep.Design, label, m.AreaUM2, m.Cells, m.TotalRegs, m.CompRegs,
+			m.ClkBufs, m.ClkCapPF, m.TNSNS, m.FailingEndpoints, m.OverflowEdges,
+			m.WLClkMM, m.WLSigMM, exec)
+	}
+	row("Base", rep.Base, "")
+	row("Ours", rep.Ours, rep.ComposeTime.Round(1e6).String())
+	b, o := rep.Base, rep.Ours
+	fmt.Fprintf(w, "%-6s %-5s %9.1f%% %7.1f%% %7.1f%% %7.1f%% %6.1f%% %8.1f%% %8.1f%% %8.1f%% %6.1f%% %8.1f%% %8.1f%%\n",
+		rep.Design, "Save",
+		pct(b.AreaUM2, o.AreaUM2), pctI(b.Cells, o.Cells),
+		pctI(b.TotalRegs, o.TotalRegs), pctI(b.CompRegs, o.CompRegs),
+		pctI(b.ClkBufs, o.ClkBufs), pct(b.ClkCapPF, o.ClkCapPF),
+		pct(b.TNSNS, o.TNSNS), pctI(b.FailingEndpoints, o.FailingEndpoints),
+		pctI(b.OverflowEdges, o.OverflowEdges),
+		pct(b.WLClkMM, o.WLClkMM), pct(b.WLSigMM, o.WLSigMM))
+}
+
+func pct(base, ours float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - ours) / base
+}
+
+func pctI(base, ours int) float64 { return pct(float64(base), float64(ours)) }
+
+// Histogram writes a Fig. 5-style bit-width breakdown.
+func Histogram(w io.Writer, title string, hist map[int]int) {
+	fmt.Fprintf(w, "%s\n", title)
+	var widths []int
+	total := 0
+	for bits, n := range hist {
+		widths = append(widths, bits)
+		total += n
+	}
+	sort.Ints(widths)
+	for _, bits := range widths {
+		n := hist[bits]
+		bar := strings.Repeat("#", scaleBar(n, total, 50))
+		fmt.Fprintf(w, "  %d-bit %6d (%5.1f%%) %s\n", bits, n, 100*float64(n)/float64(total), bar)
+	}
+}
+
+func scaleBar(n, total, width int) int {
+	if total == 0 {
+		return 0
+	}
+	v := n * width / total
+	if v == 0 && n > 0 {
+		v = 1
+	}
+	return v
+}
+
+// Fig6Row is one design's ILP-vs-heuristic comparison.
+type Fig6Row struct {
+	Design string
+	Base   int
+	ILP    int
+	Greedy int
+}
+
+// Fig6 writes the normalized-register comparison of Fig. 6.
+func Fig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintf(w, "%-6s %8s %8s %8s %12s %12s %10s\n",
+		"Design", "Base", "ILP", "Greedy", "ILP(norm)", "Greedy(norm)", "ILP gain")
+	fmt.Fprintln(w, strings.Repeat("-", 70))
+	var gainSum float64
+	for _, r := range rows {
+		ni := float64(r.ILP) / float64(r.Base)
+		ng := float64(r.Greedy) / float64(r.Base)
+		gain := 100 * (float64(r.Greedy) - float64(r.ILP)) / float64(r.Greedy)
+		gainSum += gain
+		fmt.Fprintf(w, "%-6s %8d %8d %8d %12.3f %12.3f %9.1f%%\n",
+			r.Design, r.Base, r.ILP, r.Greedy, ni, ng, gain)
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "average ILP gain over heuristic: %.1f%%\n", gainSum/float64(len(rows)))
+	}
+}

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+func sampleReport() *flow.Report {
+	return &flow.Report{
+		Design: "D9",
+		Base: flow.Metrics{
+			AreaUM2: 1000, Cells: 5000, TotalRegs: 800, CompRegs: 500,
+			ClkBufs: 50, ClkCapPF: 3.0, TNSNS: 10, FailingEndpoints: 100,
+			OverflowEdges: 40, WLClkMM: 5, WLSigMM: 100,
+		},
+		Ours: flow.Metrics{
+			AreaUM2: 980, Cells: 4900, TotalRegs: 600, CompRegs: 250,
+			ClkBufs: 45, ClkCapPF: 2.7, TNSNS: 9, FailingEndpoints: 90,
+			OverflowEdges: 41, WLClkMM: 4, WLSigMM: 98,
+		},
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	var buf bytes.Buffer
+	Table1Header(&buf)
+	Table1Rows(&buf, sampleReport())
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header, rule, base, ours, save
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "D9") || !strings.Contains(out, "Base") || !strings.Contains(out, "Ours") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// 800 → 600 = 25% saving must appear on the Save row.
+	if !strings.Contains(lines[4], "25.0%") {
+		t.Fatalf("save row: %s", lines[4])
+	}
+	// Negative saving (overflow grew 40→41) renders with a minus.
+	if !strings.Contains(lines[4], "-2.5%") {
+		t.Fatalf("negative save missing: %s", lines[4])
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := pct(100, 75); got != 25 {
+		t.Fatalf("pct = %g", got)
+	}
+	if got := pct(0, 10); got != 0 {
+		t.Fatalf("pct(0,·) = %g", got)
+	}
+	if got := pctI(200, 220); got != -10 {
+		t.Fatalf("pctI = %g", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	Histogram(&buf, "mix:", map[int]int{1: 50, 2: 25, 8: 25})
+	out := buf.String()
+	if !strings.Contains(out, "1-bit") || !strings.Contains(out, "50.0%") {
+		t.Fatalf("histogram:\n%s", out)
+	}
+	// Bars scale with share; the 1-bit bar must be the longest.
+	var oneBar, eightBar int
+	for _, line := range strings.Split(out, "\n") {
+		n := strings.Count(line, "#")
+		if strings.Contains(line, "1-bit") {
+			oneBar = n
+		}
+		if strings.Contains(line, "8-bit") {
+			eightBar = n
+		}
+	}
+	if oneBar <= eightBar {
+		t.Fatalf("bar lengths: 1-bit %d vs 8-bit %d", oneBar, eightBar)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Histogram(&buf, "empty:", map[int]int{})
+	if !strings.Contains(buf.String(), "empty:") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	var buf bytes.Buffer
+	Fig6(&buf, []Fig6Row{
+		{Design: "D1", Base: 1000, ILP: 700, Greedy: 800},
+		{Design: "D2", Base: 1000, ILP: 600, Greedy: 600},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "0.700") || !strings.Contains(out, "0.800") {
+		t.Fatalf("normalized values missing:\n%s", out)
+	}
+	// Gains: 12.5% and 0% → average 6.2%.
+	if !strings.Contains(out, "12.5%") || !strings.Contains(out, "average ILP gain over heuristic: 6.2%") {
+		t.Fatalf("gain rows wrong:\n%s", out)
+	}
+}
+
+func TestScaleBar(t *testing.T) {
+	if scaleBar(0, 100, 50) != 0 {
+		t.Fatal("zero stays zero")
+	}
+	if scaleBar(1, 1000, 50) != 1 {
+		t.Fatal("nonzero rounds up to one")
+	}
+	if scaleBar(100, 100, 50) != 50 {
+		t.Fatal("full share fills the bar")
+	}
+	if scaleBar(5, 0, 50) != 0 {
+		t.Fatal("empty total yields zero")
+	}
+}

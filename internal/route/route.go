@@ -1,0 +1,198 @@
+// Package route estimates routing congestion with a probabilistic global
+// routing model over a G-cell grid, in the spirit of the estimators in
+// Sapatnekar/Saxena/Shelar ("Routing Congestion in VLSI Circuits"), which
+// the paper uses for its overflow-edge metric ([15], Table 1 "Ovfl Edges").
+//
+// Each net contributes expected horizontal and vertical track demand spread
+// uniformly over its bounding box; an edge whose demand exceeds its
+// capacity is an overflow edge.
+package route
+
+import (
+	"math"
+
+	"repro/internal/netlist"
+)
+
+// Options configures the congestion map.
+type Options struct {
+	// GCell is the G-cell pitch in DBU.
+	GCell int64
+	// HCap and VCap are per-edge track capacities.
+	HCap, VCap float64
+	// IncludeClock selects whether clock nets contribute demand.
+	IncludeClock bool
+}
+
+// DefaultOptions returns the capacities used by the benchmark designs.
+func DefaultOptions() Options {
+	return Options{GCell: 4800, HCap: 12, VCap: 10, IncludeClock: true}
+}
+
+// Map is a computed congestion map. Horizontal edges connect (x,y)→(x+1,y)
+// and are indexed [y*(nx-1)+x]; vertical edges connect (x,y)→(x,y+1) and
+// are indexed [y*nx+x] with y < ny-1.
+type Map struct {
+	NX, NY  int
+	HDemand []float64
+	VDemand []float64
+	HCap    float64
+	VCap    float64
+}
+
+// Estimate computes the congestion map of the design's current placement.
+func Estimate(d *netlist.Design, opts Options) *Map {
+	if opts.GCell <= 0 {
+		opts = DefaultOptions()
+	}
+	nx := int(d.Core.W()/opts.GCell) + 1
+	ny := int(d.Core.H()/opts.GCell) + 1
+	if nx < 2 {
+		nx = 2
+	}
+	if ny < 2 {
+		ny = 2
+	}
+	m := &Map{
+		NX: nx, NY: ny,
+		HDemand: make([]float64, (nx-1)*ny),
+		VDemand: make([]float64, nx*(ny-1)),
+		HCap:    opts.HCap, VCap: opts.VCap,
+	}
+	gx := func(x int64) int {
+		g := int((x - d.Core.Lo.X) / opts.GCell)
+		if g < 0 {
+			g = 0
+		}
+		if g >= nx {
+			g = nx - 1
+		}
+		return g
+	}
+	gy := func(y int64) int {
+		g := int((y - d.Core.Lo.Y) / opts.GCell)
+		if g < 0 {
+			g = 0
+		}
+		if g >= ny {
+			g = ny - 1
+		}
+		return g
+	}
+
+	d.Nets(func(n *netlist.Net) {
+		if n.IsClock && !opts.IncludeClock {
+			return
+		}
+		bb, ok := d.NetBBox(n)
+		if !ok {
+			return
+		}
+		npins := len(n.Sinks)
+		if n.Driver != netlist.NoID {
+			npins++
+		}
+		if npins < 2 {
+			return
+		}
+		x0, x1 := gx(bb.Lo.X), gx(bb.Hi.X)
+		y0, y1 := gy(bb.Lo.Y), gy(bb.Hi.Y)
+		// Expected wire usage for a multi-pin net scales with pin count:
+		// the RSMT-over-HPWL correction factor (Chu's HPWL scaling).
+		q := hpwlScale(npins)
+		// Horizontal demand: q track-crossings per column of the bbox,
+		// spread uniformly over the rows it spans.
+		if x1 > x0 {
+			rows := float64(y1 - y0 + 1)
+			for y := y0; y <= y1; y++ {
+				for x := x0; x < x1; x++ {
+					m.HDemand[y*(nx-1)+x] += q / rows
+				}
+			}
+		}
+		if y1 > y0 {
+			cols := float64(x1 - x0 + 1)
+			for x := x0; x <= x1; x++ {
+				for y := y0; y < y1; y++ {
+					m.VDemand[y*nx+x] += q / cols
+				}
+			}
+		}
+	})
+	return m
+}
+
+// hpwlScale is the expected ratio of rectilinear Steiner tree length to
+// half-perimeter wirelength as a function of pin count (Chu, FLUTE paper,
+// approximated).
+func hpwlScale(pins int) float64 {
+	switch {
+	case pins <= 3:
+		return 1.0
+	case pins <= 5:
+		return 1.1
+	case pins <= 10:
+		return 1.3
+	default:
+		return 1.3 + 0.05*float64(pins-10)
+	}
+}
+
+// OverflowEdges counts edges whose demand exceeds capacity.
+func (m *Map) OverflowEdges() int {
+	n := 0
+	for _, dem := range m.HDemand {
+		if dem > m.HCap {
+			n++
+		}
+	}
+	for _, dem := range m.VDemand {
+		if dem > m.VCap {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalOverflow sums demand in excess of capacity over all edges.
+func (m *Map) TotalOverflow() float64 {
+	t := 0.0
+	for _, dem := range m.HDemand {
+		if dem > m.HCap {
+			t += dem - m.HCap
+		}
+	}
+	for _, dem := range m.VDemand {
+		if dem > m.VCap {
+			t += dem - m.VCap
+		}
+	}
+	return t
+}
+
+// MaxUtilization returns the maximum demand/capacity ratio over all edges.
+func (m *Map) MaxUtilization() float64 {
+	u := 0.0
+	for _, dem := range m.HDemand {
+		u = math.Max(u, dem/m.HCap)
+	}
+	for _, dem := range m.VDemand {
+		u = math.Max(u, dem/m.VCap)
+	}
+	return u
+}
+
+// AvgUtilization returns the mean demand/capacity ratio.
+func (m *Map) AvgUtilization() float64 {
+	if len(m.HDemand)+len(m.VDemand) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, dem := range m.HDemand {
+		t += dem / m.HCap
+	}
+	for _, dem := range m.VDemand {
+		t += dem / m.VCap
+	}
+	return t / float64(len(m.HDemand)+len(m.VDemand))
+}

@@ -1,0 +1,166 @@
+package route
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lib"
+	"repro/internal/netlist"
+)
+
+var testLib = lib.MustGenerateDefault()
+
+func newDesign() *netlist.Design {
+	return netlist.NewDesign("r", geom.RectWH(0, 0, 96000, 96000), testLib)
+}
+
+// wireUp adds a 2-pin net between two new 1-bit registers at the given
+// points.
+func wireUp(t testing.TB, d *netlist.Design, i int, a, b geom.Point) {
+	t.Helper()
+	cell := testLib.CellsOfWidth(lib.FuncClass{Kind: lib.FlipFlop}, 1)[0]
+	r1, err := d.AddRegister(fmt.Sprintf("a%d", i), cell, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := d.AddRegister(fmt.Sprintf("b%d", i), cell, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.AddNet(fmt.Sprintf("n%d", i), false)
+	d.Connect(d.QPin(r1, 0), n)
+	d.Connect(d.DPin(r2, 0), n)
+}
+
+func TestEstimateEmptyDesign(t *testing.T) {
+	d := newDesign()
+	m := Estimate(d, DefaultOptions())
+	if m.OverflowEdges() != 0 || m.TotalOverflow() != 0 {
+		t.Fatal("empty design must have zero overflow")
+	}
+	if m.MaxUtilization() != 0 || m.AvgUtilization() != 0 {
+		t.Fatal("empty design must have zero utilization")
+	}
+}
+
+func TestDemandFollowsNetBBox(t *testing.T) {
+	d := newDesign()
+	// One horizontal net crossing several gcells.
+	wireUp(t, d, 0, geom.Point{X: 0, Y: 48000}, geom.Point{X: 90000, Y: 48000})
+	m := Estimate(d, DefaultOptions())
+	var total float64
+	for _, v := range m.HDemand {
+		total += v
+	}
+	if total <= 0 {
+		t.Fatal("horizontal net must create horizontal demand")
+	}
+	// A purely horizontal net creates no vertical demand (same g-row).
+	var vtotal float64
+	for _, v := range m.VDemand {
+		vtotal += v
+	}
+	if vtotal != 0 {
+		t.Fatalf("unexpected vertical demand %g", vtotal)
+	}
+}
+
+func TestOverflowWhenConcentrated(t *testing.T) {
+	d := newDesign()
+	// Many long parallel nets through the same gcell row → overflow.
+	for i := 0; i < 40; i++ {
+		wireUp(t, d, i, geom.Point{X: 0, Y: 48000}, geom.Point{X: 90000, Y: 48000})
+	}
+	opts := DefaultOptions()
+	opts.HCap = 8
+	m := Estimate(d, opts)
+	if m.OverflowEdges() == 0 {
+		t.Fatal("expected overflow edges")
+	}
+	if m.MaxUtilization() <= 1 {
+		t.Fatalf("max utilization %g should exceed 1", m.MaxUtilization())
+	}
+	if m.TotalOverflow() <= 0 {
+		t.Fatal("expected positive total overflow")
+	}
+}
+
+func TestSpreadingReducesOverflow(t *testing.T) {
+	build := func(spread bool) int {
+		d := newDesign()
+		for i := 0; i < 40; i++ {
+			y := int64(48000)
+			if spread {
+				y = int64(i * 2400)
+			}
+			wireUp(t, d, i, geom.Point{X: 0, Y: y}, geom.Point{X: 90000, Y: y})
+		}
+		opts := DefaultOptions()
+		opts.HCap = 8
+		return Estimate(d, opts).OverflowEdges()
+	}
+	packed := build(false)
+	spread := build(true)
+	if spread >= packed {
+		t.Fatalf("spreading must reduce overflow: packed=%d spread=%d", packed, spread)
+	}
+}
+
+func TestClockNetInclusion(t *testing.T) {
+	d := newDesign()
+	cell := testLib.CellsOfWidth(lib.FuncClass{Kind: lib.FlipFlop}, 1)[0]
+	clk := d.AddNet("clk", true)
+	for i := 0; i < 10; i++ {
+		r, err := d.AddRegister(fmt.Sprintf("r%d", i), cell, geom.Point{X: int64(i) * 9000, Y: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Connect(d.ClockPin(r), clk)
+	}
+	with := Estimate(d, Options{GCell: 4800, HCap: 12, VCap: 10, IncludeClock: true})
+	without := Estimate(d, Options{GCell: 4800, HCap: 12, VCap: 10, IncludeClock: false})
+	var sumWith, sumWithout float64
+	for _, v := range with.HDemand {
+		sumWith += v
+	}
+	for _, v := range without.HDemand {
+		sumWithout += v
+	}
+	if sumWith <= sumWithout {
+		t.Fatal("clock demand must appear when included")
+	}
+	if sumWithout != 0 {
+		t.Fatal("clock-only design must have zero signal demand")
+	}
+}
+
+func TestSinglePinNetIgnored(t *testing.T) {
+	d := newDesign()
+	cell := testLib.CellsOfWidth(lib.FuncClass{Kind: lib.FlipFlop}, 1)[0]
+	r, _ := d.AddRegister("r", cell, geom.Point{X: 0, Y: 0})
+	n := d.AddNet("dangling", false)
+	d.Connect(d.QPin(r, 0), n)
+	m := Estimate(d, DefaultOptions())
+	var sum float64
+	for _, v := range m.HDemand {
+		sum += v
+	}
+	for _, v := range m.VDemand {
+		sum += v
+	}
+	if sum != 0 {
+		t.Fatal("single-pin nets must not create demand")
+	}
+}
+
+func TestHpwlScaleMonotone(t *testing.T) {
+	prev := 0.0
+	for pins := 2; pins <= 30; pins++ {
+		s := hpwlScale(pins)
+		if s < prev {
+			t.Fatalf("hpwlScale must be non-decreasing, %d pins: %g < %g", pins, s, prev)
+		}
+		prev = s
+	}
+}

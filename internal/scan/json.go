@@ -1,0 +1,61 @@
+package scan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/netlist"
+)
+
+type jsonChain struct {
+	Partition int      `json:"partition"`
+	Ordered   bool     `json:"ordered,omitempty"`
+	Regs      []string `json:"regs"`
+}
+
+type jsonPlan struct {
+	AllowCrossChain bool        `json:"allowCrossChain"`
+	Chains          []jsonChain `json:"chains"`
+}
+
+// WriteJSON serializes the plan, referencing registers by instance name.
+func (p *Plan) WriteJSON(w io.Writer, d *netlist.Design) error {
+	jp := jsonPlan{AllowCrossChain: p.AllowCrossChain}
+	for _, c := range p.chains {
+		jc := jsonChain{Partition: c.Partition, Ordered: c.Ordered}
+		for _, id := range c.Regs {
+			in := d.Inst(id)
+			if in == nil {
+				return fmt.Errorf("scan: chain %d references dead instance %d", c.ID, id)
+			}
+			jc.Regs = append(jc.Regs, in.Name)
+		}
+		jp.Chains = append(jp.Chains, jc)
+	}
+	return json.NewEncoder(w).Encode(jp)
+}
+
+// ReadJSON reconstructs a plan against the given design.
+func ReadJSON(r io.Reader, d *netlist.Design) (*Plan, error) {
+	var jp jsonPlan
+	if err := json.NewDecoder(r).Decode(&jp); err != nil {
+		return nil, fmt.Errorf("scan: decode: %w", err)
+	}
+	p := NewPlan()
+	p.AllowCrossChain = jp.AllowCrossChain
+	for ci, jc := range jp.Chains {
+		ids := make([]netlist.InstID, 0, len(jc.Regs))
+		for _, name := range jc.Regs {
+			in := d.InstByName(name)
+			if in == nil {
+				return nil, fmt.Errorf("scan: chain %d references unknown instance %q", ci, name)
+			}
+			ids = append(ids, in.ID)
+		}
+		if _, err := p.AddChain(jc.Partition, jc.Ordered, ids); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

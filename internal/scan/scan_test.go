@@ -1,0 +1,256 @@
+package scan
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lib"
+	"repro/internal/netlist"
+)
+
+var testLib = lib.MustGenerateDefault()
+
+func iscanClass() lib.FuncClass {
+	return lib.FuncClass{Kind: lib.FlipFlop, Scan: lib.InternalScan}
+}
+
+func scanDesign(t testing.TB, n int) (*netlist.Design, []*netlist.Inst) {
+	t.Helper()
+	d := netlist.NewDesign("s", geom.RectWH(0, 0, 500000, 500000), testLib)
+	cell := testLib.CellsOfWidth(iscanClass(), 1)[0]
+	var regs []*netlist.Inst
+	for i := 0; i < n; i++ {
+		r, err := d.AddRegister(fmt.Sprintf("r%d", i), cell,
+			geom.Point{X: int64(i) * 2000, Y: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs = append(regs, r)
+	}
+	return d, regs
+}
+
+func ids(regs []*netlist.Inst) []netlist.InstID {
+	out := make([]netlist.InstID, len(regs))
+	for i, r := range regs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func TestPairCompatibleUnscanned(t *testing.T) {
+	_, regs := scanDesign(t, 3)
+	p := NewPlan()
+	if !p.PairCompatible(regs[0].ID, regs[1].ID) {
+		t.Fatal("two unscanned registers must be compatible")
+	}
+	if _, err := p.AddChain(0, false, []netlist.InstID{regs[0].ID}); err != nil {
+		t.Fatal(err)
+	}
+	if p.PairCompatible(regs[0].ID, regs[1].ID) {
+		t.Fatal("scanned and unscanned registers must be incompatible")
+	}
+}
+
+func TestPairCompatiblePartitions(t *testing.T) {
+	_, regs := scanDesign(t, 4)
+	p := NewPlan()
+	p.AddChain(0, false, []netlist.InstID{regs[0].ID, regs[1].ID})
+	p.AddChain(1, false, []netlist.InstID{regs[2].ID})
+	p.AddChain(0, false, []netlist.InstID{regs[3].ID})
+	if !p.PairCompatible(regs[0].ID, regs[1].ID) {
+		t.Fatal("same chain same partition must be compatible")
+	}
+	if p.PairCompatible(regs[0].ID, regs[2].ID) {
+		t.Fatal("different partitions must be incompatible")
+	}
+	if !p.PairCompatible(regs[0].ID, regs[3].ID) {
+		t.Fatal("cross-chain same partition must be compatible when allowed")
+	}
+	p.AllowCrossChain = false
+	if p.PairCompatible(regs[0].ID, regs[3].ID) {
+		t.Fatal("cross-chain must be incompatible when disallowed")
+	}
+}
+
+func TestOrderedSectionRules(t *testing.T) {
+	_, regs := scanDesign(t, 6)
+	p := NewPlan()
+	p.AddChain(0, true, ids(regs[:4]))
+	p.AddChain(0, true, ids(regs[4:]))
+	// Same ordered chain: pairwise OK.
+	if !p.PairCompatible(regs[0].ID, regs[2].ID) {
+		t.Fatal("same ordered chain must be pairwise compatible")
+	}
+	// Different chains, even same partition: not OK when ordered.
+	if p.PairCompatible(regs[0].ID, regs[4].ID) {
+		t.Fatal("ordered sections must not mix across chains")
+	}
+	// Contiguous run OK.
+	if !p.GroupCompatible(ids(regs[1:4])) {
+		t.Fatal("contiguous run must be group compatible")
+	}
+	// Non-contiguous subset not OK.
+	if p.GroupCompatible([]netlist.InstID{regs[0].ID, regs[2].ID}) {
+		t.Fatal("gap in ordered run must be rejected")
+	}
+}
+
+func TestMergeOrderFollowsChain(t *testing.T) {
+	_, regs := scanDesign(t, 4)
+	p := NewPlan()
+	p.AddChain(0, true, ids(regs))
+	got := p.MergeOrder([]netlist.InstID{regs[2].ID, regs[0].ID, regs[1].ID})
+	want := []netlist.InstID{regs[0].ID, regs[1].ID, regs[2].ID}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MergeOrder = %v want %v", got, want)
+		}
+	}
+}
+
+func TestApplyMergeOrdered(t *testing.T) {
+	d, regs := scanDesign(t, 5)
+	p := NewPlan()
+	p.AddChain(0, true, ids(regs))
+	// Merge regs[1..3] into an MBR (4-bit cell, one bit unused).
+	cell := testLib.CellsOfWidth(iscanClass(), 4)[0]
+	group := []*netlist.Inst{regs[1], regs[2], regs[3]}
+	mr, err := d.MergeRegisters(group, cell, "mbr", geom.Point{X: 4000, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ApplyMerge(ids(group), mr.MBR.ID); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Chains()[0]
+	want := []netlist.InstID{regs[0].ID, mr.MBR.ID, regs[4].ID}
+	if len(c.Regs) != 3 {
+		t.Fatalf("chain = %v want %v", c.Regs, want)
+	}
+	for i := range want {
+		if c.Regs[i] != want[i] {
+			t.Fatalf("chain = %v want %v", c.Regs, want)
+		}
+	}
+	if err := p.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyMergeRejectsNonContiguous(t *testing.T) {
+	_, regs := scanDesign(t, 5)
+	p := NewPlan()
+	p.AddChain(0, true, ids(regs))
+	err := p.ApplyMerge([]netlist.InstID{regs[0].ID, regs[2].ID}, 99)
+	if err == nil {
+		t.Fatal("non-contiguous ordered merge must fail")
+	}
+}
+
+func TestApplyMergeCrossChain(t *testing.T) {
+	d, regs := scanDesign(t, 4)
+	p := NewPlan()
+	p.AddChain(0, false, ids(regs[:2]))
+	p.AddChain(0, false, ids(regs[2:]))
+	cell := testLib.CellsOfWidth(iscanClass(), 2)[0]
+	group := []*netlist.Inst{regs[1], regs[2]} // one from each chain
+	mr, err := d.MergeRegisters(group, cell, "mbr", geom.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ApplyMerge(ids(group), mr.MBR.ID); err != nil {
+		t.Fatal(err)
+	}
+	// MBR lands on chain 0 (anchor = regs[1] at chain0 pos1).
+	c0, c1 := p.Chains()[0], p.Chains()[1]
+	if len(c0.Regs) != 2 || c0.Regs[1] != mr.MBR.ID {
+		t.Fatalf("chain0 = %v", c0.Regs)
+	}
+	if len(c1.Regs) != 1 || c1.Regs[0] != regs[3].ID {
+		t.Fatalf("chain1 = %v", c1.Regs)
+	}
+	if err := p.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStitchInternalScan(t *testing.T) {
+	d, regs := scanDesign(t, 4)
+	p := NewPlan()
+	p.AddChain(0, false, ids(regs))
+	if err := p.Stitch(d, "scan"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each adjacent pair shares a net: r[i].SO → r[i+1].SI.
+	for i := 0; i+1 < len(regs); i++ {
+		so := findScanOut(d, regs[i])
+		si := d.FindPin(regs[i+1], netlist.PinScanIn, 0)
+		if so.Net == netlist.NoID || so.Net != si.Net {
+			t.Fatalf("hop %d not stitched", i)
+		}
+	}
+}
+
+func TestStitchExternalScanTraversesBits(t *testing.T) {
+	d := netlist.NewDesign("es", geom.RectWH(0, 0, 100000, 100000), testLib)
+	eclass := lib.FuncClass{Kind: lib.FlipFlop, Scan: lib.ExternalScan}
+	cell2 := testLib.CellsOfWidth(eclass, 2)[0]
+	a, _ := d.AddRegister("a", cell2, geom.Point{})
+	b, _ := d.AddRegister("b", cell2, geom.Point{X: 5000})
+	p := NewPlan()
+	p.AddChain(0, false, []netlist.InstID{a.ID, b.ID})
+	if err := p.Stitch(d, "scan"); err != nil {
+		t.Fatal(err)
+	}
+	// a.SO0→a.SI1, a.SO1→b.SI0, b.SO0→b.SI1: 3 hops.
+	hops := 0
+	d.Nets(func(n *netlist.Net) {
+		if n.Driver != netlist.NoID && len(n.Sinks) == 1 {
+			dp := d.Pin(n.Driver)
+			sp := d.Pin(n.Sinks[0])
+			if dp.Kind == netlist.PinScanOut && sp.Kind == netlist.PinScanIn {
+				hops++
+			}
+		}
+	})
+	if hops != 3 {
+		t.Fatalf("hops = %d want 3", hops)
+	}
+}
+
+func TestStitchRejectsNoScanCell(t *testing.T) {
+	d := netlist.NewDesign("ns", geom.RectWH(0, 0, 100000, 100000), testLib)
+	cell := testLib.CellsOfWidth(lib.FuncClass{Kind: lib.FlipFlop}, 1)[0]
+	r, _ := d.AddRegister("r", cell, geom.Point{})
+	p := NewPlan()
+	p.AddChain(0, false, []netlist.InstID{r.ID})
+	if err := p.Stitch(d, "scan"); err == nil {
+		t.Fatal("stitching a scanless register must fail")
+	}
+}
+
+func TestAddChainRejectsDuplicates(t *testing.T) {
+	_, regs := scanDesign(t, 2)
+	p := NewPlan()
+	if _, err := p.AddChain(0, false, ids(regs)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddChain(1, false, []netlist.InstID{regs[0].ID}); err == nil {
+		t.Fatal("duplicate chain membership must fail")
+	}
+}
+
+func TestValidateDetectsDeadInstance(t *testing.T) {
+	d, regs := scanDesign(t, 2)
+	p := NewPlan()
+	p.AddChain(0, false, ids(regs))
+	d.RemoveInst(regs[0])
+	if err := p.Validate(d); err == nil {
+		t.Fatal("dead instance on chain must be detected")
+	}
+}

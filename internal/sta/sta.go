@@ -1,0 +1,535 @@
+// Package sta is a graph-based static timing analyzer over the netlist
+// database. It uses the linear delay abstraction the paper's mapping step
+// reasons with (§4.1): cell delay = intrinsic + driveResistance × load, and
+// wire delay proportional to Manhattan pin distance. It produces per-pin
+// arrival/required/slack, WNS/TNS, failing endpoint counts, propagated
+// clock arrivals, per-register useful-skew assignment, and the
+// timing-feasible move regions that placement compatibility (§2) is built
+// from.
+//
+// Only setup (max-delay) analysis is modeled; the paper does not involve
+// hold fixing.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netlist"
+)
+
+// Results carries one timing analysis snapshot. Pin-indexed slices are
+// addressed by netlist.PinID.
+type Results struct {
+	Arrival  []float64
+	Required []float64
+	Slack    []float64
+
+	// WNS is the worst endpoint slack (0 when nothing fails and min slack
+	// is positive — we report the true minimum, which may be positive).
+	WNS float64
+	// TNS is the sum of negative endpoint slacks (a non-positive number).
+	TNS float64
+	// FailingEndpoints counts endpoints with negative slack.
+	FailingEndpoints int
+	// TotalEndpoints counts all checked endpoints.
+	TotalEndpoints int
+
+	// ClockArrival is the propagated clock arrival (including useful skew)
+	// at each register, keyed by instance ID.
+	ClockArrival map[netlist.InstID]float64
+}
+
+// PinSlack returns the slack at a pin (+Inf for unconstrained pins).
+func (r *Results) PinSlack(id netlist.PinID) float64 {
+	if int(id) >= len(r.Slack) {
+		return math.Inf(1)
+	}
+	return r.Slack[id]
+}
+
+// Engine runs timing analysis on a design. The engine may be re-run after
+// netlist edits; per-register useful skews persist across runs and survive
+// register merges only if re-applied by the caller.
+type Engine struct {
+	d     *netlist.Design
+	skew  map[netlist.InstID]float64
+	ideal bool
+}
+
+// New returns an analyzer for the design.
+func New(d *netlist.Design) *Engine {
+	return &Engine{d: d, skew: map[netlist.InstID]float64{}}
+}
+
+// SetIdealClocks selects ideal-clock mode: every register's clock arrives
+// at time zero (plus its useful skew), regardless of the clock network.
+// This is how pre-CTS timing is analyzed in practice — before buffering,
+// the raw clock nets are giant stars whose RC delay is meaningless.
+// Propagated clocks (the default) follow buffers and gates.
+func (e *Engine) SetIdealClocks(on bool) { e.ideal = on }
+
+// SetSkew assigns a useful clock skew (ps, positive = later clock) to a
+// register instance.
+func (e *Engine) SetSkew(id netlist.InstID, ps float64) {
+	if ps == 0 {
+		delete(e.skew, id)
+		return
+	}
+	e.skew[id] = ps
+}
+
+// Skew returns the useful skew currently assigned to a register.
+func (e *Engine) Skew(id netlist.InstID) float64 { return e.skew[id] }
+
+// ClearSkews removes all useful-skew assignments.
+func (e *Engine) ClearSkews() { e.skew = map[netlist.InstID]float64{} }
+
+const negInf = math.MaxFloat64 * -1
+
+// Run performs a full timing analysis.
+func (e *Engine) Run() (*Results, error) {
+	d := e.d
+	nPins := e.pinSpace()
+	res := &Results{
+		Arrival:      make([]float64, nPins),
+		Required:     make([]float64, nPins),
+		Slack:        make([]float64, nPins),
+		ClockArrival: map[netlist.InstID]float64{},
+		WNS:          math.Inf(1),
+	}
+	for i := range res.Arrival {
+		res.Arrival[i] = negInf       // unreached
+		res.Required[i] = math.Inf(1) // unconstrained
+		res.Slack[i] = math.Inf(1)
+	}
+
+	arcs, rev, err := e.buildGraph()
+	if err != nil {
+		return nil, err
+	}
+
+	clkArr, err := e.clockArrivals()
+	if err != nil {
+		return nil, err
+	}
+	period := d.Timing.ClockPeriod
+
+	// Seed arrivals: input ports and register Q pins.
+	type seed struct {
+		pin netlist.PinID
+		at  float64
+	}
+	var seeds []seed
+	d.Insts(func(in *netlist.Inst) {
+		switch in.Kind {
+		case netlist.KindPort:
+			p := d.OutPin(in)
+			if p != nil && p.Net != netlist.NoID && !d.Net(p.Net).IsClock {
+				seeds = append(seeds, seed{p.ID, d.Timing.InputDelay})
+			}
+		case netlist.KindReg:
+			arr := clkArr[in.ID] + e.skew[in.ID]
+			res.ClockArrival[in.ID] = arr
+			cell := in.RegCell
+			for b := 0; b < cell.Bits; b++ {
+				q := d.QPin(in, b)
+				if q == nil || q.Net == netlist.NoID {
+					continue
+				}
+				load := d.NetLoadCap(d.Net(q.Net))
+				seeds = append(seeds, seed{q.ID, arr + cell.Intrinsic + cell.DriveRes*load})
+			}
+		}
+	})
+
+	// Forward propagation in topological order (Kahn over the arc graph).
+	order, err := toposort(nPins, arcs, rev)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range seeds {
+		if s.at > res.Arrival[s.pin] {
+			res.Arrival[s.pin] = s.at
+		}
+	}
+	for _, u := range order {
+		au := res.Arrival[u]
+		if au == negInf {
+			continue
+		}
+		for _, a := range arcs[u] {
+			if v := au + a.delay; v > res.Arrival[a.to] {
+				res.Arrival[a.to] = v
+			}
+		}
+	}
+
+	// Endpoint required times.
+	setReq := func(pin netlist.PinID, req float64) {
+		if req < res.Required[pin] {
+			res.Required[pin] = req
+		}
+	}
+	d.Insts(func(in *netlist.Inst) {
+		switch in.Kind {
+		case netlist.KindReg:
+			arr := clkArr[in.ID] + e.skew[in.ID]
+			for b := 0; b < in.Bits(); b++ {
+				dp := d.DPin(in, b)
+				if dp == nil || dp.Net == netlist.NoID {
+					continue
+				}
+				setReq(dp.ID, arr+period-in.RegCell.Setup)
+			}
+		case netlist.KindPort:
+			p := d.FindPin(in, netlist.PinData, 0)
+			if p != nil && p.Dir == netlist.DirIn && p.Net != netlist.NoID {
+				setReq(p.ID, period-d.Timing.OutputDelay)
+			}
+		}
+	})
+
+	// Backward propagation of required times.
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		for _, a := range arcs[u] {
+			if res.Required[a.to] < math.Inf(1) {
+				if r := res.Required[a.to] - a.delay; r < res.Required[u] {
+					res.Required[u] = r
+				}
+			}
+		}
+	}
+
+	// Slacks and endpoint statistics.
+	for pid := 0; pid < nPins; pid++ {
+		arr, req := res.Arrival[pid], res.Required[pid]
+		if arr == negInf || req == math.Inf(1) {
+			continue
+		}
+		res.Slack[pid] = req - arr
+	}
+	d.Insts(func(in *netlist.Inst) {
+		check := func(p *netlist.Pin) {
+			if p == nil || p.Net == netlist.NoID {
+				return
+			}
+			if res.Arrival[p.ID] == negInf {
+				return // unreached endpoint: unconstrained path
+			}
+			s := res.Slack[p.ID]
+			if math.IsInf(s, 1) {
+				return
+			}
+			res.TotalEndpoints++
+			if s < res.WNS {
+				res.WNS = s
+			}
+			if s < 0 {
+				res.TNS += s
+				res.FailingEndpoints++
+			}
+		}
+		switch in.Kind {
+		case netlist.KindReg:
+			for b := 0; b < in.Bits(); b++ {
+				check(d.DPin(in, b))
+			}
+		case netlist.KindPort:
+			p := d.FindPin(in, netlist.PinData, 0)
+			if p != nil && p.Dir == netlist.DirIn {
+				check(p)
+			}
+		}
+	})
+	if res.TotalEndpoints == 0 {
+		res.WNS = 0
+	}
+	return res, nil
+}
+
+type arc struct {
+	to    netlist.PinID
+	delay float64
+}
+
+// pinSpace returns an upper bound on pin IDs.
+func (e *Engine) pinSpace() int {
+	n := 0
+	e.d.Insts(func(in *netlist.Inst) {
+		for _, pid := range in.Pins {
+			if int(pid) >= n {
+				n = int(pid) + 1
+			}
+		}
+	})
+	return n
+}
+
+// buildGraph creates the data-path timing arcs: net arcs (driver→sink, wire
+// delay) and combinational cell arcs (input→output). Register and clock
+// pins do not get data arcs; registers are handled as launch/capture
+// boundaries, and the clock network is analyzed separately.
+func (e *Engine) buildGraph() (map[netlist.PinID][]arc, map[netlist.PinID]int, error) {
+	d := e.d
+	arcs := map[netlist.PinID][]arc{}
+	indeg := map[netlist.PinID]int{}
+
+	// Net arcs.
+	d.Nets(func(n *netlist.Net) {
+		if n.IsClock || n.Driver == netlist.NoID {
+			return
+		}
+		dp := d.Pin(n.Driver)
+		dpos := d.PinPos(dp)
+		for _, s := range n.Sinks {
+			sp := d.Pin(s)
+			delay := d.Timing.WireDelayPerDBU * float64(dpos.ManhattanDist(d.PinPos(sp)))
+			arcs[dp.ID] = append(arcs[dp.ID], arc{sp.ID, delay})
+			indeg[sp.ID]++
+		}
+	})
+	// Cell arcs for combinational instances.
+	d.Insts(func(in *netlist.Inst) {
+		if in.Kind != netlist.KindComb {
+			return
+		}
+		out := d.OutPin(in)
+		if out == nil || out.Net == netlist.NoID {
+			return
+		}
+		load := d.NetLoadCap(d.Net(out.Net))
+		delay := in.Comb.Intrinsic + in.Comb.DriveRes*load
+		for _, pid := range in.Pins {
+			p := d.Pin(pid)
+			if p.Dir != netlist.DirIn || p.Net == netlist.NoID {
+				continue
+			}
+			arcs[p.ID] = append(arcs[p.ID], arc{out.ID, delay})
+			indeg[out.ID]++
+		}
+	})
+	return arcs, indeg, nil
+}
+
+// toposort returns a topological order of all pins that participate in
+// arcs. A combinational cycle is an error.
+func toposort(nPins int, arcs map[netlist.PinID][]arc, indeg map[netlist.PinID]int) ([]netlist.PinID, error) {
+	inDegree := make([]int, nPins)
+	involved := make([]bool, nPins)
+	for u, as := range arcs {
+		involved[u] = true
+		for _, a := range as {
+			involved[a.to] = true
+		}
+	}
+	total := 0
+	for pid, deg := range indeg {
+		inDegree[pid] = deg
+	}
+	var queue []netlist.PinID
+	for pid := 0; pid < nPins; pid++ {
+		if involved[pid] && inDegree[pid] == 0 {
+			queue = append(queue, netlist.PinID(pid))
+		}
+		if involved[pid] {
+			total++
+		}
+	}
+	order := make([]netlist.PinID, 0, total)
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, u)
+		for _, a := range arcs[u] {
+			inDegree[a.to]--
+			if inDegree[a.to] == 0 {
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	if len(order) != total {
+		return nil, fmt.Errorf("sta: combinational cycle detected (%d of %d pins ordered)", len(order), total)
+	}
+	return order, nil
+}
+
+// clockArrivals propagates clock delay from clock sources (ports or
+// undriven clock nets, which are treated as ideal) through clock buffers
+// and gates to every register's clock pin.
+func (e *Engine) clockArrivals() (map[netlist.InstID]float64, error) {
+	d := e.d
+	arr := map[netlist.InstID]float64{}
+	if e.ideal {
+		d.Insts(func(in *netlist.Inst) {
+			if in.Kind == netlist.KindReg {
+				arr[in.ID] = 0
+			}
+		})
+		return arr, nil
+	}
+
+	// netArrival computes arrival at a clock net's driver output,
+	// memoized; ideal (0) at roots.
+	memo := map[netlist.NetID]float64{}
+	var netArrival func(id netlist.NetID, depth int) (float64, error)
+	netArrival = func(id netlist.NetID, depth int) (float64, error) {
+		if v, ok := memo[id]; ok {
+			return v, nil
+		}
+		if depth > 10000 {
+			return 0, fmt.Errorf("sta: clock network loop on net %d", id)
+		}
+		n := d.Net(id)
+		if n == nil || n.Driver == netlist.NoID {
+			memo[id] = 0 // ideal clock root
+			return 0, nil
+		}
+		drv := d.Pin(n.Driver)
+		in := d.Inst(drv.Inst)
+		if in == nil {
+			memo[id] = 0
+			return 0, nil
+		}
+		switch in.Kind {
+		case netlist.KindPort:
+			memo[id] = 0
+			return 0, nil
+		case netlist.KindClockBuf, netlist.KindClockGate:
+			// Arrival at the buffer input net + buffer delay.
+			var inNet netlist.NetID = netlist.NoID
+			for _, pid := range in.Pins {
+				p := d.Pin(pid)
+				if p.Dir == netlist.DirIn && p.Net != netlist.NoID {
+					pn := d.Net(p.Net)
+					if pn.IsClock || p.Kind == netlist.PinData {
+						inNet = p.Net
+						break
+					}
+				}
+			}
+			base := 0.0
+			if inNet != netlist.NoID {
+				b, err := netArrival(inNet, depth+1)
+				if err != nil {
+					return 0, err
+				}
+				// Wire delay from upstream driver to this buffer's input.
+				up := d.Net(inNet)
+				if up.Driver != netlist.NoID {
+					b += d.Timing.WireDelayPerDBU *
+						float64(d.PinPos(d.Pin(up.Driver)).ManhattanDist(d.PinPos(pinOfNetSinkOnInst(d, up, in))))
+				}
+				base = b
+			}
+			load := d.NetLoadCap(n)
+			v := base + in.Comb.Intrinsic + in.Comb.DriveRes*load
+			memo[id] = v
+			return v, nil
+		default:
+			memo[id] = 0
+			return 0, nil
+		}
+	}
+
+	var firstErr error
+	d.Insts(func(in *netlist.Inst) {
+		if in.Kind != netlist.KindReg || firstErr != nil {
+			return
+		}
+		cp := d.ClockPin(in)
+		if cp == nil || cp.Net == netlist.NoID {
+			arr[in.ID] = 0
+			return
+		}
+		base, err := netArrival(cp.Net, 0)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		n := d.Net(cp.Net)
+		wire := 0.0
+		if n.Driver != netlist.NoID {
+			wire = d.Timing.WireDelayPerDBU *
+				float64(d.PinPos(d.Pin(n.Driver)).ManhattanDist(d.PinPos(cp)))
+		}
+		arr[in.ID] = base + wire
+	})
+	return arr, firstErr
+}
+
+func pinOfNetSinkOnInst(d *netlist.Design, n *netlist.Net, in *netlist.Inst) *netlist.Pin {
+	for _, s := range n.Sinks {
+		p := d.Pin(s)
+		if p.Inst == in.ID {
+			return p
+		}
+	}
+	// Fall back to the instance origin.
+	return &netlist.Pin{Inst: in.ID}
+}
+
+// RegDSlack returns the worst slack across the register's connected D pins
+// (+Inf when none are constrained).
+func RegDSlack(d *netlist.Design, r *Results, in *netlist.Inst) float64 {
+	worst := math.Inf(1)
+	for b := 0; b < in.Bits(); b++ {
+		p := d.DPin(in, b)
+		if p == nil || p.Net == netlist.NoID {
+			continue
+		}
+		if s := r.PinSlack(p.ID); s < worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// RegQSlack returns the worst slack across the register's connected Q pins
+// (+Inf when none are constrained).
+func RegQSlack(d *netlist.Design, r *Results, in *netlist.Inst) float64 {
+	worst := math.Inf(1)
+	for b := 0; b < in.Bits(); b++ {
+		p := d.QPin(in, b)
+		if p == nil || p.Net == netlist.NoID {
+			continue
+		}
+		if s := r.PinSlack(p.ID); s < worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// AssignUsefulSkew computes and applies the local useful-skew move for the
+// given registers: the skew that balances each register's D-side and Q-side
+// slacks, clamped to ±maxSkew. It returns the number of registers whose
+// worst slack improved. The paper applies this to newly composed MBRs
+// (Fig. 4) — their constituents were timing compatible, so one shared skew
+// helps all bits.
+func (e *Engine) AssignUsefulSkew(regs []*netlist.Inst, res *Results, maxSkew float64) int {
+	improved := 0
+	for _, in := range regs {
+		ds := RegDSlack(e.d, res, in)
+		qs := RegQSlack(e.d, res, in)
+		if math.IsInf(ds, 1) || math.IsInf(qs, 1) {
+			continue
+		}
+		// min(ds+s, qs-s) is maximized at s = (qs-ds)/2.
+		s := (qs - ds) / 2
+		if s > maxSkew {
+			s = maxSkew
+		}
+		if s < -maxSkew {
+			s = -maxSkew
+		}
+		before := math.Min(ds, qs)
+		after := math.Min(ds+s, qs-s)
+		if after > before+1e-12 {
+			e.SetSkew(in.ID, e.skew[in.ID]+s)
+			improved++
+		}
+	}
+	return improved
+}
