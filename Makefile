@@ -1,0 +1,31 @@
+# Tier-1 verification plus the race/benchmark targets CI runs.
+#
+#   make            # build + test (tier-1)
+#   make race       # vet + race-detector test sweep (the CI gate)
+#   make bench      # paper-reproduction benchmark suite
+#   make golden     # regenerate flow golden files after an intended change
+
+GO ?= go
+
+.PHONY: all build test race bench golden fuzz
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+golden:
+	$(GO) test ./internal/flow -run TestGolden -update
+
+fuzz:
+	$(GO) test ./internal/clique -fuzz FuzzEnumerateSubCliques -fuzztime 30s

@@ -19,6 +19,8 @@ package repro
 // suite runs in well under a minute.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -295,25 +297,43 @@ func BenchmarkAblationDecompose(b *testing.B) {
 
 // BenchmarkComposeOnly_D1 isolates the cost of the new steps (candidate
 // enumeration + weighting + ILP + mapping + placement LP), the quantity
-// behind the paper's "Exec. Time" column.
+// behind the paper's "Exec. Time" column. Sub-benchmarks sweep the worker
+// count of the parallel per-subgraph pipeline: workers=1 is the sequential
+// legacy path, workers=N is full fan-out; on a multi-core host the speedup
+// between them is the headline of the parallel execution layer (results are
+// byte-identical either way, so only time differs).
 func BenchmarkComposeOnly_D1(b *testing.B) {
 	spec := profileByName("D1")
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		gen, err := bench.Generate(spec)
-		if err != nil {
-			b.Fatal(err)
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		if n > 2 {
+			counts = append(counts, 2)
 		}
-		eng := sta.New(gen.Design)
-		eng.SetIdealClocks(true)
-		res, err := eng.Run()
-		if err != nil {
-			b.Fatal(err)
-		}
-		g := compat.Build(gen.Design, res, gen.Plan, compat.DefaultOptions())
-		b.StartTimer()
-		if _, err := core.Compose(gen.Design, g, gen.Plan, core.DefaultOptions()); err != nil {
-			b.Fatal(err)
-		}
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				gen, err := bench.Generate(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := sta.New(gen.Design)
+				eng.SetIdealClocks(true)
+				res, err := eng.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				g := compat.Build(gen.Design, res, gen.Plan, compat.DefaultOptions())
+				opts := core.DefaultOptions()
+				opts.Workers = workers
+				b.StartTimer()
+				if _, err := core.Compose(gen.Design, g, gen.Plan, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

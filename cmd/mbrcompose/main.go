@@ -37,6 +37,7 @@ func main() {
 		noSkew       = flag.Bool("noskew", false, "skip useful-skew assignment")
 		noSizing     = flag.Bool("nosizing", false, "skip MBR sizing")
 		fig5         = flag.Bool("fig5", false, "also print the bit-width histograms (Fig. 5)")
+		workers      = flag.Int("workers", 0, "composition worker count (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
@@ -91,6 +92,7 @@ func main() {
 	cfg.Compose.MaxSubgraphNodes = *bound
 	cfg.UsefulSkew = !*noSkew
 	cfg.Sizing = !*noSizing
+	cfg.Workers = *workers
 
 	before := core.BitWidthHistogram(d)
 	rep, err := flow.Run(d, plan, cfg)

@@ -39,6 +39,8 @@ func main() {
 		ablation = flag.String("ablation", "", "bound | weights | incomplete")
 		scale    = flag.Int("scale", bench.DefaultScale, "design size divisor")
 	)
+	flag.IntVar(&workerCount, "workers", 0,
+		"composition worker count (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	flag.Parse()
 	if *all {
 		*table1, *fig3, *fig5, *fig6 = true, true, true, true
@@ -99,12 +101,17 @@ func banner(s string) {
 	fmt.Printf("\n=== %s ===\n\n", s)
 }
 
+// workerCount is the -workers flag: composition parallelism for every flow
+// run below. Zero means GOMAXPROCS; the output is identical at any setting.
+var workerCount int
+
 func runFlow(spec bench.Spec, mutate func(*flow.Config)) *flow.Report {
 	res, err := bench.Generate(spec)
 	if err != nil {
 		fatal(err)
 	}
 	cfg := flow.DefaultConfig()
+	cfg.Workers = workerCount
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -199,6 +206,7 @@ func runFig5(scale int) {
 		}
 		before := core.BitWidthHistogram(res.Design)
 		cfg := flow.DefaultConfig()
+		cfg.Workers = workerCount
 		if _, err := flow.Run(res.Design, res.Plan, cfg); err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,291 @@
+package clique
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Property tests against brute force: Bron–Kerbosch must return exactly the
+// maximal cliques, and the sub-clique enumeration must return exactly the
+// width-valid cliques, on random graphs.
+
+func randomPropGraph(rng *rand.Rand, n int, p float64) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// bruteMaximalCliques enumerates maximal cliques by subset scan (n ≤ ~16).
+func bruteMaximalCliques(g *Graph) []uint64 {
+	var out []uint64
+	total := uint64(1) << uint(g.N)
+	for set := uint64(1); set < total; set++ {
+		if !g.IsClique(set) {
+			continue
+		}
+		maximal := true
+		for v := 0; v < g.N; v++ {
+			if set&(1<<uint(v)) != 0 {
+				continue
+			}
+			if g.IsClique(set | 1<<uint(v)) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, set)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestMaximalCliquesExactOrderedSet strengthens the quick-check in
+// clique_test.go: the output must be the exact maximal-clique set in sorted
+// (deterministic) order, across a density sweep.
+func TestMaximalCliquesExactOrderedSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(12)
+		p := []float64{0.15, 0.4, 0.7, 0.95}[trial%4]
+		g := randomPropGraph(rng, n, p)
+		got := MaximalCliques(g)
+		want := bruteMaximalCliques(g)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (n=%d p=%.2f): %d maximal cliques, want %d",
+				trial, n, p, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: clique list mismatch at %d: %b vs %b",
+					trial, i, got[i], want[i])
+			}
+		}
+		// Every reported clique is a clique and maximal.
+		for _, c := range got {
+			if !g.IsClique(c) {
+				t.Fatalf("trial %d: %b is not a clique", trial, c)
+			}
+		}
+	}
+}
+
+// bruteSubCliques enumerates every width-valid clique by subset scan.
+func bruteSubCliques(g *Graph, spec SubCliqueSpec) map[uint64]int {
+	widths := append([]int(nil), spec.Widths...)
+	sort.Ints(widths)
+	maxW := widths[len(widths)-1]
+	exact := map[int]bool{}
+	for _, w := range widths {
+		exact[w] = true
+	}
+	out := map[uint64]int{}
+	total := uint64(1) << uint(g.N)
+	for set := uint64(1); set < total; set++ {
+		if !g.IsClique(set) {
+			continue
+		}
+		sum := 0
+		for s := set; s != 0; {
+			v := bits.TrailingZeros64(s)
+			s &^= 1 << uint(v)
+			sum += spec.Bits[v]
+		}
+		if sum > maxW {
+			continue
+		}
+		if exact[sum] || spec.AllowIncomplete {
+			out[set] = sum
+		}
+	}
+	return out
+}
+
+func TestEnumerateSubCliquesMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(11)
+		g := randomPropGraph(rng, n, 0.3+0.5*rng.Float64())
+		bitsOf := make([]int, n)
+		for i := range bitsOf {
+			bitsOf[i] = 1 + rng.Intn(4)
+		}
+		spec := SubCliqueSpec{
+			Bits:            bitsOf,
+			Widths:          []int{1, 2, 4, 8},
+			AllowIncomplete: trial%2 == 0,
+		}
+		res, err := EnumerateSubCliques(g, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteSubCliques(g, spec)
+		if len(res.Cliques) != len(want) {
+			t.Fatalf("trial %d (n=%d incomplete=%v): %d cliques, want %d",
+				trial, n, spec.AllowIncomplete, len(res.Cliques), len(want))
+		}
+		seen := map[uint64]bool{}
+		prevMembers := 0
+		for i, c := range res.Cliques {
+			if seen[c] {
+				t.Fatalf("trial %d: duplicate clique %b", trial, c)
+			}
+			seen[c] = true
+			wantBits, ok := want[c]
+			if !ok {
+				t.Fatalf("trial %d: unexpected clique %b", trial, c)
+			}
+			if res.TotalBits[i] != wantBits {
+				t.Fatalf("trial %d: clique %b bit total %d, want %d",
+					trial, c, res.TotalBits[i], wantBits)
+			}
+			// Layered order: member counts never decrease.
+			m := bits.OnesCount64(c)
+			if m < prevMembers {
+				t.Fatalf("trial %d: layering violated (%d members after %d)",
+					trial, m, prevMembers)
+			}
+			prevMembers = m
+		}
+		if res.Truncated {
+			t.Fatalf("trial %d: truncated without a cap", trial)
+		}
+	}
+}
+
+// TestEnumerateSubCliquesTruncationRandom checks the cap semantics on random
+// graphs: never more than MaxCandidates results, and an un-truncated result
+// is complete.
+func TestEnumerateSubCliquesTruncationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rng.Intn(8)
+		g := randomPropGraph(rng, n, 0.8)
+		bitsOf := make([]int, n)
+		for i := range bitsOf {
+			bitsOf[i] = 1
+		}
+		spec := SubCliqueSpec{Bits: bitsOf, Widths: []int{1, 2, 4, 8}, MaxCandidates: 10}
+		res, err := EnumerateSubCliques(g, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Cliques) > spec.MaxCandidates {
+			t.Fatalf("trial %d: cap ignored: %d > %d", trial, len(res.Cliques), spec.MaxCandidates)
+		}
+		full := bruteSubCliques(g, spec)
+		if !res.Truncated && len(res.Cliques) != len(full) {
+			t.Fatalf("trial %d: not marked truncated but incomplete (%d of %d)",
+				trial, len(res.Cliques), len(full))
+		}
+	}
+}
+
+// FuzzEnumerateSubCliques decodes a byte string into a graph + bit widths
+// and checks the enumeration invariants (clique-ness, valid totals, no
+// duplicates) hold for arbitrary inputs. `go test` runs the seed corpus;
+// `go test -fuzz=FuzzEnumerateSubCliques ./internal/clique` explores.
+func FuzzEnumerateSubCliques(f *testing.F) {
+	f.Add([]byte{5, 0xff, 0x0f, 1, 2, 3, 4, 1})
+	f.Add([]byte{8, 0xaa, 0x55, 0x11, 0x99, 1, 1, 1, 1, 2, 2, 4, 8})
+	f.Add([]byte{1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0]) % 13
+		g := NewGraph(n)
+		pos := 1
+		nextByte := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		var bucket byte
+		var have int
+		nextBit := func() bool {
+			if have == 0 {
+				bucket = nextByte()
+				have = 8
+			}
+			b := bucket&1 != 0
+			bucket >>= 1
+			have--
+			return b
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if nextBit() {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		bitsOf := make([]int, n)
+		for i := range bitsOf {
+			bitsOf[i] = 1 + int(nextByte())%8
+		}
+		spec := SubCliqueSpec{
+			Bits:            bitsOf,
+			Widths:          []int{1, 2, 4, 8},
+			AllowIncomplete: nextBit(),
+			MaxCandidates:   200,
+		}
+		res, err := EnumerateSubCliques(g, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[uint64]bool{}
+		for i, c := range res.Cliques {
+			if c == 0 || !g.IsClique(c) {
+				t.Fatalf("invalid clique %b", c)
+			}
+			if seen[c] {
+				t.Fatalf("duplicate clique %b", c)
+			}
+			seen[c] = true
+			sum := 0
+			for _, v := range Members(c) {
+				sum += bitsOf[v]
+			}
+			if sum != res.TotalBits[i] {
+				t.Fatalf("clique %b: reported bits %d, actual %d", c, res.TotalBits[i], sum)
+			}
+			if sum > 8 {
+				t.Fatalf("clique %b: bit total %d exceeds max width", c, sum)
+			}
+			if !spec.AllowIncomplete && sum != 1 && sum != 2 && sum != 4 && sum != 8 {
+				t.Fatalf("clique %b: invalid bit total %d", c, sum)
+			}
+		}
+	})
+}
+
+func TestMembersMaskRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		var nodes []int
+		for v := 0; v < 64; v++ {
+			if rng.Float64() < 0.2 {
+				nodes = append(nodes, v)
+			}
+		}
+		mask := MaskOf(nodes)
+		got := Members(mask)
+		if fmt.Sprint(got) != fmt.Sprint(nodes) {
+			t.Fatalf("round trip failed: %v -> %b -> %v", nodes, mask, got)
+		}
+	}
+}

@@ -43,37 +43,27 @@ func Compose(d *netlist.Design, g *compat.Graph, plan *scan.Plan, opts Options) 
 	subgraphs := partition.Decompose(len(g.Regs), g.Adj,
 		func(n int) geom.Point { return g.Regs[n].ClockPos }, opts.MaxSubgraphNodes)
 	res.Subgraphs = len(subgraphs)
+	res.Workers = resolveWorkers(opts.Workers)
 
+	// Per-partition pipeline (enumeration → scoring → selection), fanned out
+	// across the worker pool; see parallel.go for the determinism argument.
+	subResults, err := solveSubgraphs(d, g, ri, subgraphs, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Ordered reduce: accumulate in subgraph index order — the same order
+	// the sequential loop used — so counts, the floating-point objective sum
+	// and the selected list are identical for any worker count.
 	var selected []candidate
-	for _, nodes := range subgraphs {
-		cands, truncated, err := enumerateCandidates(d, g, ri, nodes, opts)
-		if err != nil {
-			return nil, err
-		}
-		if truncated {
+	for _, sr := range subResults {
+		if sr.truncated {
 			res.TruncatedSubgraphs++
 		}
-		res.Candidates += len(cands)
-		var picked []candidate
-		var obj float64
-		var nodesUsed int
-		switch opts.Method {
-		case MethodGreedy:
-			picked, obj = selectGreedy(d, g, nodes, cands)
-		default:
-			var err error
-			picked, obj, nodesUsed, err = selectILP(nodes, cands, opts)
-			if err != nil {
-				return nil, err
-			}
-		}
-		res.ILPNodes += nodesUsed
-		res.ObjectiveSum += obj
-		for _, c := range picked {
-			if len(c.nodes) > 1 {
-				selected = append(selected, c)
-			}
-		}
+		res.Candidates += sr.candidates
+		res.ILPNodes += sr.ilpNodes
+		res.ObjectiveSum += sr.objective
+		selected = append(selected, sr.picked...)
 	}
 
 	// Deterministic commit order: by first member's instance ID.

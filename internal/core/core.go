@@ -18,6 +18,11 @@
 //     inside the group's common timing-feasible region (§4.2), committed to
 //     the netlist, and legalized incrementally.
 //
+// Steps 2–4 are independent per subgraph and run concurrently on a bounded
+// worker pool (Options.Workers); results are merged by a deterministic
+// ordered reduce, so the outcome is byte-identical for any worker count.
+// See parallel.go.
+//
 // A greedy maximal-clique heuristic (in the spirit of the comparison in
 // Fig. 6) is provided as the baseline composer.
 package core
@@ -78,6 +83,12 @@ type Options struct {
 	ILPNodeLimit int
 	// NamePrefix names the created MBR instances (default "mbrc").
 	NamePrefix string
+	// Workers bounds the worker pool that the per-partition stages (clique
+	// enumeration, candidate scoring, subgraph ILP solves) fan out across:
+	// 0 = one worker per available CPU (runtime.GOMAXPROCS), 1 = the legacy
+	// sequential path. The result is byte-identical for any value — see
+	// parallel.go.
+	Workers int
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -123,6 +134,9 @@ type Result struct {
 	ComposableRegs int
 	// Subgraphs is the number of ILP subproblems solved.
 	Subgraphs int
+	// Workers is the resolved worker-pool size the per-partition stages ran
+	// with (1 = sequential).
+	Workers int
 	// Candidates is the total number of enumerated valid candidates.
 	Candidates int
 	// TruncatedSubgraphs counts subgraphs whose enumeration hit the cap.

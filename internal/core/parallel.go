@@ -1,0 +1,142 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/compat"
+	"repro/internal/netlist"
+)
+
+// The per-partition stages of composition — Bron–Kerbosch sub-clique
+// enumeration, candidate scoring and the per-subgraph set-partitioning ILP —
+// are independent by construction: partitioning (§3) decomposes the
+// compatibility graph into disjoint node sets, and every input the stages
+// read (the design database, the library, the compatibility graph, the scan
+// plan, the register index) is immutable while they run. Only the commit
+// phase mutates the design, and it stays sequential.
+//
+// solveSubgraphs exploits that: subgraphs are fanned out across a bounded
+// worker pool, and the results are merged by an ordered reduce — every
+// accumulation (candidate counts, branch & bound nodes, the floating-point
+// objective sum, the selected candidate list) happens in subgraph index
+// order, exactly as the sequential loop would have done it. Together with
+// the deterministic commit order this makes the composition result
+// byte-identical for any worker count and any goroutine schedule.
+
+// subgraphResult is the outcome of the per-partition pipeline on one
+// subgraph, before the ordered reduce.
+type subgraphResult struct {
+	// picked are the selected multi-member candidates (singleton "keep"
+	// decisions are dropped here, as the sequential path does).
+	picked []candidate
+	// objective is the subgraph's selection objective (ILP or greedy).
+	objective float64
+	// ilpNodes is the branch & bound node count (0 for greedy).
+	ilpNodes int
+	// candidates is the enumerated candidate count, singletons included.
+	candidates int
+	// truncated reports that candidate enumeration hit its cap.
+	truncated bool
+}
+
+// resolveWorkers maps the Options.Workers convention to a concrete worker
+// count: 0 (or negative) means one worker per available CPU, 1 is the
+// sequential legacy path, anything else is taken literally.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// solveSubgraph runs the full per-partition pipeline on one subgraph:
+// enumeration, scoring, selection. It only reads shared state and is safe to
+// call concurrently for disjoint subgraphs.
+func solveSubgraph(
+	d *netlist.Design,
+	g *compat.Graph,
+	ri *regIndex,
+	nodes []int,
+	opts Options,
+) (subgraphResult, error) {
+	var sr subgraphResult
+	cands, truncated, err := enumerateCandidates(d, g, ri, nodes, opts)
+	if err != nil {
+		return sr, err
+	}
+	sr.truncated = truncated
+	sr.candidates = len(cands)
+
+	var picked []candidate
+	switch opts.Method {
+	case MethodGreedy:
+		picked, sr.objective = selectGreedy(d, g, nodes, cands)
+	default:
+		picked, sr.objective, sr.ilpNodes, err = selectILP(nodes, cands, opts)
+		if err != nil {
+			return sr, err
+		}
+	}
+	for _, c := range picked {
+		if len(c.nodes) > 1 {
+			sr.picked = append(sr.picked, c)
+		}
+	}
+	return sr, nil
+}
+
+// solveSubgraphs runs solveSubgraph over every subgraph and returns the
+// results indexed like the input. With workers == 1 (or a single subgraph)
+// it runs the legacy sequential loop; otherwise it fans the subgraphs out
+// across a worker pool. Each worker writes only its own result slots, so no
+// locking is needed beyond the completion barrier. Errors are reported by
+// the lowest-index failing subgraph, matching what the sequential loop
+// would have surfaced first.
+func solveSubgraphs(
+	d *netlist.Design,
+	g *compat.Graph,
+	ri *regIndex,
+	subgraphs [][]int,
+	opts Options,
+) ([]subgraphResult, error) {
+	results := make([]subgraphResult, len(subgraphs))
+	workers := resolveWorkers(opts.Workers)
+	if workers > len(subgraphs) {
+		workers = len(subgraphs)
+	}
+	if workers <= 1 {
+		for i, nodes := range subgraphs {
+			sr, err := solveSubgraph(d, g, ri, nodes, opts)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = sr
+		}
+		return results, nil
+	}
+
+	errs := make([]error, len(subgraphs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx], errs[idx] = solveSubgraph(d, g, ri, subgraphs[idx], opts)
+			}
+		}()
+	}
+	for i := range subgraphs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -60,6 +60,12 @@ type Config struct {
 	// neighbours. Most useful on designs already rich in 8-bit MBRs (the
 	// D4 situation).
 	DecomposeExisting bool
+	// Workers bounds the worker pool the per-partition composition stages
+	// (clique enumeration, candidate scoring, subgraph ILP solves) fan out
+	// across: 0 = one worker per available CPU (runtime.GOMAXPROCS(0)),
+	// 1 = the legacy sequential path. Reports are byte-identical for any
+	// setting; it overrides Compose.Workers when non-zero.
+	Workers int
 }
 
 // DefaultConfig returns the paper-default flow.
@@ -139,7 +145,11 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	g := compat.Build(d, res, plan, cfg.Compat)
-	cres, err := core.Compose(d, g, plan, cfg.Compose)
+	composeOpts := cfg.Compose
+	if cfg.Workers != 0 {
+		composeOpts.Workers = cfg.Workers
+	}
+	cres, err := core.Compose(d, g, plan, composeOpts)
 	if err != nil {
 		return nil, fmt.Errorf("flow: compose: %w", err)
 	}

@@ -7,6 +7,13 @@
 // greedy warm start — because that is exactly the ILP the paper's MBR
 // composition step solves (§3.1: minimize Σ wᵢxᵢ subject to each register
 // being covered by exactly one selected candidate).
+//
+// Concurrency: the package holds no package-level mutable state. Every
+// solve allocates its own tableau and branch-and-bound heap, and inputs
+// (objective, columns) are copied, not retained. Distinct solves may run
+// concurrently from multiple goroutines — the per-partition composition
+// pipeline in internal/core relies on this. A single Problem or solve is
+// not itself safe for concurrent mutation.
 package ilp
 
 import (

@@ -1,0 +1,143 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// randomAdj builds a random undirected adjacency-list graph.
+func randomAdj(rng *rand.Rand, n int, p float64) [][]int {
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	return adj
+}
+
+// bruteComponentOf computes each node's component id by transitive closure.
+func bruteComponentOf(n int, adj [][]int) []int {
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+		reach[i][i] = true
+		for _, j := range adj[i] {
+			reach[i][j] = true
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		if comp[i] != -1 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if reach[i][j] {
+				comp[j] = next
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// TestConnectedComponentsMatchReachability cross-checks the DFS component
+// finder against a Floyd–Warshall style transitive closure: two nodes share
+// a returned component iff they are mutually reachable, the components are
+// sorted by smallest node with ascending members, and they cover every node.
+func TestConnectedComponentsMatchReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(40)
+		adj := randomAdj(rng, n, []float64{0.02, 0.08, 0.3}[trial%3])
+		comps := ConnectedComponents(n, adj)
+		want := bruteComponentOf(n, adj)
+
+		id := make([]int, n)
+		for i := range id {
+			id[i] = -1
+		}
+		prevFirst := -1
+		for ci, members := range comps {
+			if len(members) == 0 {
+				t.Fatalf("trial %d: empty component %d", trial, ci)
+			}
+			if members[0] <= prevFirst {
+				t.Fatalf("trial %d: components not sorted by smallest node", trial)
+			}
+			prevFirst = members[0]
+			for k, v := range members {
+				if k > 0 && members[k-1] >= v {
+					t.Fatalf("trial %d: component %d members not ascending: %v", trial, ci, members)
+				}
+				if id[v] != -1 {
+					t.Fatalf("trial %d: node %d in two components", trial, v)
+				}
+				id[v] = ci
+			}
+		}
+		for i := 0; i < n; i++ {
+			if id[i] == -1 {
+				t.Fatalf("trial %d: node %d not covered", trial, i)
+			}
+			for j := 0; j < n; j++ {
+				sameGot := id[i] == id[j]
+				sameWant := want[i] == want[j]
+				if sameGot != sameWant {
+					t.Fatalf("trial %d: nodes %d,%d same-component=%v, reachability says %v",
+						trial, i, j, sameGot, sameWant)
+				}
+			}
+		}
+	}
+}
+
+// TestDecomposeNeverMixesComponents: geometric splitting only ever subdivides
+// a component, so no returned subgraph may span two components — merging
+// across a part is then always backed by real compatibility edges.
+func TestDecomposeNeverMixesComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(70)
+		adj := randomAdj(rng, n, 0.05)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: int64(rng.Intn(2000)), Y: int64(rng.Intn(2000))}
+		}
+		comp := bruteComponentOf(n, adj)
+		bound := 1 + rng.Intn(29)
+		parts := Decompose(n, adj, func(i int) geom.Point { return pts[i] }, bound)
+		for _, p := range parts {
+			if len(p) > bound {
+				t.Fatalf("trial %d: part of %d nodes exceeds bound %d", trial, len(p), bound)
+			}
+			for _, x := range p[1:] {
+				if comp[x] != comp[p[0]] {
+					t.Fatalf("trial %d: part %v spans components %d and %d",
+						trial, p, comp[p[0]], comp[x])
+				}
+			}
+		}
+	}
+}

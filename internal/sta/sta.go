@@ -9,6 +9,13 @@
 //
 // Only setup (max-delay) analysis is modeled; the paper does not involve
 // hold fixing.
+//
+// Concurrency: an Engine mutates only itself during Run, and a Results
+// snapshot is immutable once returned — no lazy caches, no package-level
+// state. Concurrent readers of one Results (slacks, regions) need no
+// locking; the parallel composition pipeline shares a single snapshot
+// across all workers. Engines on the same Design must not run while the
+// Design is being edited.
 package sta
 
 import (
