@@ -3,11 +3,12 @@
 #   make            # build + test (tier-1)
 #   make race       # vet + race-detector test sweep (the CI gate)
 #   make bench      # paper-reproduction benchmark suite
+#   make bench-smoke # one-iteration benchmark pass (CI: catches bit-rot)
 #   make golden     # regenerate flow golden files after an intended change
 
 GO ?= go
 
-.PHONY: all build test race bench golden fuzz
+.PHONY: all build test race bench bench-smoke golden fuzz
 
 all: build test
 
@@ -23,6 +24,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
 golden:
 	$(GO) test ./internal/flow -run TestGolden -update

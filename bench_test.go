@@ -20,6 +20,7 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"testing"
 
@@ -27,6 +28,8 @@ import (
 	"repro/internal/compat"
 	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/geom"
+	"repro/internal/netlist"
 	"repro/internal/paperex"
 	"repro/internal/sta"
 )
@@ -302,6 +305,104 @@ func BenchmarkAblationDecompose(b *testing.B) {
 // legacy path, workers=N is full fan-out; on a multi-core host the speedup
 // between them is the headline of the parallel execution layer (results are
 // byte-identical either way, so only time differs).
+// wiggleRegs applies small random moves to n movable registers — the ≤1%
+// parametric edit pattern of the flow's skew/sizing hot loop.
+func wiggleRegs(d *netlist.Design, regs []*netlist.Inst, rng *rand.Rand, n int) {
+	for i := 0; i < n; i++ {
+		r := regs[rng.Intn(len(regs))]
+		if r.Fixed {
+			continue
+		}
+		d.MoveInst(r, geom.Point{
+			X: r.Pos.X + int64(rng.Intn(2001)) - 1000,
+			Y: r.Pos.Y + int64(rng.Intn(2001)) - 1000,
+		})
+	}
+}
+
+// BenchmarkSTA_FullVsIncremental measures the tentpole win of the retained
+// STA engine: after a ≤1% register wiggle (the flow's per-iteration edit
+// volume), "full" forces a from-scratch graph rebuild and sweep while
+// "incremental" re-propagates only the edit cone. The ratio of the two
+// times is the headline incremental speedup; cone_pins reports how few
+// pins the incremental path actually re-evaluated.
+func BenchmarkSTA_FullVsIncremental(b *testing.B) {
+	gen, err := bench.Generate(profileByName("D1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := gen.Design
+	regs := d.Registers()
+	nEdit := len(regs) / 100
+	if nEdit < 1 {
+		nEdit = 1
+	}
+	for _, mode := range []string{"full", "incremental"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			eng := sta.New(d)
+			eng.SetIdealClocks(true)
+			if _, err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				wiggleRegs(d, regs, rng, nEdit)
+				if mode == "full" {
+					eng.Invalidate()
+				}
+				b.StartTimer()
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if mode == "incremental" {
+				s := eng.Stats()
+				if s.IncrementalRuns == 0 {
+					b.Fatal("incremental path never engaged")
+				}
+				b.ReportMetric(float64(s.LastConePins), "cone_pins")
+			}
+			b.ReportMetric(float64(d.PinSpace()), "pins")
+		})
+	}
+}
+
+// BenchmarkSTA_FullRun_D1 sweeps the worker count of the levelized
+// arrival/required sweeps on a full from-scratch run. Results are
+// byte-identical at every setting, so only time differs; on a multi-core
+// host the workers=N line is the parallel-sweep speedup.
+func BenchmarkSTA_FullRun_D1(b *testing.B) {
+	gen, err := bench.Generate(profileByName("D1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		if n > 2 {
+			counts = append(counts, 2)
+		}
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := sta.New(gen.Design)
+			eng.SetIdealClocks(true)
+			eng.SetWorkers(workers)
+			for i := 0; i < b.N; i++ {
+				eng.Invalidate()
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkComposeOnly_D1(b *testing.B) {
 	spec := profileByName("D1")
 	counts := []int{1}

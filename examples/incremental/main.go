@@ -52,10 +52,10 @@ func main() {
 		if in.Fixed || in.Kind == netlist.KindPort || in.Area() == 0 {
 			return
 		}
-		in.Pos = geom.Point{
+		d.MoveInst(in, geom.Point{
 			X: in.Pos.X + int64(rng.Intn(7000)) - 3500,
 			Y: in.Pos.Y + int64(rng.Intn(7000)) - 3500,
-		}
+		})
 	})
 
 	// Pass 1: after global placement.

@@ -60,11 +60,13 @@ type Config struct {
 	// neighbours. Most useful on designs already rich in 8-bit MBRs (the
 	// D4 situation).
 	DecomposeExisting bool
-	// Workers bounds the worker pool the per-partition composition stages
-	// (clique enumeration, candidate scoring, subgraph ILP solves) fan out
-	// across: 0 = one worker per available CPU (runtime.GOMAXPROCS(0)),
-	// 1 = the legacy sequential path. Reports are byte-identical for any
-	// setting; it overrides Compose.Workers when non-zero.
+	// Workers bounds the worker pools the parallel stages fan out across:
+	// the per-partition composition stages (clique enumeration, candidate
+	// scoring, subgraph ILP solves) and the STA engine's levelized
+	// arrival/required sweeps. 0 = one worker per available CPU
+	// (runtime.GOMAXPROCS(0)), 1 = the legacy sequential path. Reports are
+	// byte-identical for any setting; it overrides Compose.Workers when
+	// non-zero.
 	Workers int
 }
 
@@ -111,6 +113,7 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	t0 := time.Now()
 	rep := &Report{Design: d.Name}
 	eng := sta.New(d)
+	eng.SetWorkers(cfg.Workers)
 
 	// ---- Base measurement: build CTS, measure, tear down. ----
 	trees, err := buildCTS(d, cfg.CTS)

@@ -18,6 +18,7 @@ func (d *Design) RemoveInst(in *Inst) {
 	}
 	in.dead = true
 	delete(d.nameToInst, in.Name)
+	d.noteTouch(in.ID)
 }
 
 // RemoveNet deletes a net; it must have no connected pins.
@@ -29,8 +30,14 @@ func (d *Design) RemoveNet(n *Net) error {
 	return nil
 }
 
-// MoveInst repositions an instance.
-func (d *Design) MoveInst(in *Inst, pos geom.Point) { in.Pos = pos }
+// MoveInst repositions an instance. All position edits must go through
+// this method (never assign Inst.Pos directly): it records the move in the
+// edit log so incremental timing can invalidate the instance's
+// neighbourhood.
+func (d *Design) MoveInst(in *Inst, pos geom.Point) {
+	in.Pos = pos
+	d.noteTouch(in.ID)
+}
 
 // BitAssignment records where one original register bit landed in a merged
 // MBR.
@@ -188,5 +195,6 @@ func (d *Design) ResizeRegister(in *Inst, cell *lib.Cell) error {
 			p.Cap = cell.ClkCap
 		}
 	}
+	d.noteTouch(in.ID)
 	return nil
 }

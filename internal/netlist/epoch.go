@@ -1,0 +1,115 @@
+package netlist
+
+// Edit tracking: every timing-relevant mutation of a Design bumps a
+// monotonically increasing edit epoch and records which instance it
+// touched, so an incremental consumer (the STA engine) can find out, at
+// any later point, whether anything changed since its last look and — when
+// the record is still complete — exactly which instances were involved.
+//
+// Three classes of edit are distinguished:
+//
+//   - structural: data-path connectivity changed (a pin attached to or
+//     detached from a non-clock net). The timing-graph topology is stale
+//     and consumers must rebuild.
+//   - clock: connectivity of a clock net changed. Data arcs are unaffected
+//     (clock nets never carry data arcs) but propagated clock arrivals
+//     must be recomputed.
+//   - parametric: geometry or electrical parameters changed (MoveInst,
+//     ResizeRegister). The graph topology survives; only delays, loads and
+//     seeds in the neighbourhood of the touched instances move.
+//
+// The touched record is a bounded ring. When it overflows it is dropped
+// wholesale and TouchedSince reports incomplete, which simply downgrades
+// consumers to a full rebuild — correctness never depends on the ring.
+//
+// All edits must go through the Design methods (Connect, Disconnect,
+// MoveInst, ResizeRegister, ...); writing Inst.Pos or pin/net fields
+// directly bypasses tracking and leaves incremental consumers stale.
+
+// touchedRingCap bounds the touched-instance ring. 4096 entries cover the
+// per-iteration edit volume of the composition flow's hot loop (skew +
+// sizing touch at most a few hundred registers); bulk edits such as CTS
+// teardown overflow it and correctly force a full rebuild.
+const touchedRingCap = 4096
+
+type touchedEntry struct {
+	epoch uint64
+	inst  InstID
+}
+
+// editLog is the per-Design edit tracker. The zero value is ready to use.
+type editLog struct {
+	epoch           uint64
+	structuralEpoch uint64
+	clockEpoch      uint64
+	// trackedFrom is the cursor floor: TouchedSince(c) is complete iff
+	// c >= trackedFrom.
+	trackedFrom uint64
+	ring        []touchedEntry
+}
+
+// Epoch returns the design's current edit epoch. It increases by at least
+// one on every timing-relevant mutation.
+func (d *Design) Epoch() uint64 { return d.edits.epoch }
+
+// StructuralEpoch returns the epoch of the last data-path connectivity
+// change. A consumer whose cache was built at cursor c must rebuild its
+// graph topology when StructuralEpoch() > c.
+func (d *Design) StructuralEpoch() uint64 { return d.edits.structuralEpoch }
+
+// ClockEpoch returns the epoch of the last clock-network connectivity
+// change.
+func (d *Design) ClockEpoch() uint64 { return d.edits.clockEpoch }
+
+// TouchedSince returns the IDs of instances touched by timing-relevant
+// edits after the given epoch, most recent first and deduplicated, plus
+// whether the record is complete. complete == false means the ring was
+// overwritten past the cursor and the caller must assume anything changed.
+// Returned IDs may refer to since-removed instances (Inst returns nil).
+func (d *Design) TouchedSince(epoch uint64) (touched []InstID, complete bool) {
+	e := &d.edits
+	if epoch < e.trackedFrom {
+		return nil, false
+	}
+	seen := map[InstID]bool{}
+	for i := len(e.ring) - 1; i >= 0; i-- {
+		ent := e.ring[i]
+		if ent.epoch <= epoch {
+			break
+		}
+		if !seen[ent.inst] {
+			seen[ent.inst] = true
+			touched = append(touched, ent.inst)
+		}
+	}
+	return touched, true
+}
+
+// noteTouch records a parametric edit to the instance.
+func (d *Design) noteTouch(inst InstID) {
+	e := &d.edits
+	e.epoch++
+	if len(e.ring) == touchedRingCap {
+		// Drop the record wholesale: only the new entry remains tracked.
+		e.ring = e.ring[:0]
+		e.trackedFrom = e.epoch - 1
+	}
+	e.ring = append(e.ring, touchedEntry{epoch: e.epoch, inst: inst})
+}
+
+// noteStructural records a data-path connectivity edit at the instance.
+func (d *Design) noteStructural(inst InstID) {
+	d.noteTouch(inst)
+	d.edits.structuralEpoch = d.edits.epoch
+}
+
+// noteClock records a clock-network connectivity edit at the instance.
+func (d *Design) noteClock(inst InstID) {
+	d.noteTouch(inst)
+	d.edits.clockEpoch = d.edits.epoch
+}
+
+// PinSpace returns an exclusive upper bound on every PinID ever issued by
+// the design (including pins of removed instances). Pin-indexed slices
+// sized to PinSpace can be addressed by any PinID without bounds checks.
+func (d *Design) PinSpace() int { return len(d.pins) }

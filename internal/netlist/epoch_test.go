@@ -1,0 +1,158 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestEpochBumpsPerEditClass(t *testing.T) {
+	d, r1, _ := buildPair(t)
+
+	base := d.Epoch()
+	baseStruct := d.StructuralEpoch()
+	baseClock := d.ClockEpoch()
+
+	// Parametric: bumps the epoch only.
+	d.MoveInst(r1, geom.Point{X: 2000, Y: 1200})
+	if d.Epoch() <= base {
+		t.Fatalf("MoveInst did not bump epoch: %d -> %d", base, d.Epoch())
+	}
+	if d.StructuralEpoch() != baseStruct || d.ClockEpoch() != baseClock {
+		t.Fatalf("MoveInst changed structural/clock epochs")
+	}
+
+	cur := d.Epoch()
+	if err := d.ResizeRegister(r1, cellOf(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() <= cur {
+		t.Fatalf("ResizeRegister did not bump epoch")
+	}
+	if d.StructuralEpoch() != baseStruct {
+		t.Fatalf("ResizeRegister changed structural epoch")
+	}
+
+	// Structural: data-net connectivity.
+	cur = d.Epoch()
+	dn := d.Net(d.DPin(r1, 0).Net)
+	d.Disconnect(d.DPin(r1, 0))
+	if d.StructuralEpoch() <= baseStruct {
+		t.Fatalf("data-net Disconnect did not bump structural epoch")
+	}
+	if d.ClockEpoch() != baseClock {
+		t.Fatalf("data-net Disconnect bumped clock epoch")
+	}
+	d.Connect(d.DPin(r1, 0), dn)
+	if d.StructuralEpoch() != d.Epoch() {
+		t.Fatalf("data-net Connect: structural epoch %d != epoch %d",
+			d.StructuralEpoch(), d.Epoch())
+	}
+
+	// Clock: clock-net connectivity.
+	baseStruct = d.StructuralEpoch()
+	cn := d.Net(d.ClockPin(r1).Net)
+	d.Disconnect(d.ClockPin(r1))
+	if d.ClockEpoch() <= baseClock {
+		t.Fatalf("clock-net Disconnect did not bump clock epoch")
+	}
+	if d.StructuralEpoch() != baseStruct {
+		t.Fatalf("clock-net Disconnect bumped structural epoch")
+	}
+	d.Connect(d.ClockPin(r1), cn)
+	if d.ClockEpoch() != d.Epoch() {
+		t.Fatalf("clock-net Connect: clock epoch %d != epoch %d",
+			d.ClockEpoch(), d.Epoch())
+	}
+}
+
+func TestTouchedSinceDedupAndOrder(t *testing.T) {
+	d, r1, r2 := buildPair(t)
+
+	cursor := d.Epoch()
+	d.MoveInst(r1, geom.Point{X: 2000, Y: 1200})
+	d.MoveInst(r2, geom.Point{X: 4000, Y: 1200})
+	d.MoveInst(r1, geom.Point{X: 2500, Y: 1200})
+
+	touched, complete := d.TouchedSince(cursor)
+	if !complete {
+		t.Fatalf("record unexpectedly incomplete")
+	}
+	if len(touched) != 2 {
+		t.Fatalf("touched = %v, want 2 deduplicated instances", touched)
+	}
+	// Most recent first: r1 was edited last.
+	if touched[0] != r1.ID || touched[1] != r2.ID {
+		t.Fatalf("touched = %v, want [%d %d]", touched, r1.ID, r2.ID)
+	}
+
+	// A cursor at the current epoch sees nothing.
+	if got, ok := d.TouchedSince(d.Epoch()); !ok || len(got) != 0 {
+		t.Fatalf("TouchedSince(now) = %v, %v; want empty, complete", got, ok)
+	}
+
+	// A mid-sequence cursor sees only the later edits.
+	mid := d.Epoch()
+	d.MoveInst(r2, geom.Point{X: 4500, Y: 1200})
+	got, ok := d.TouchedSince(mid)
+	if !ok || len(got) != 1 || got[0] != r2.ID {
+		t.Fatalf("TouchedSince(mid) = %v, %v; want [%d], complete", got, ok, r2.ID)
+	}
+}
+
+func TestTouchedSinceRemovedInst(t *testing.T) {
+	d, r1, _ := buildPair(t)
+	cursor := d.Epoch()
+	id := r1.ID
+	d.RemoveInst(r1)
+	touched, complete := d.TouchedSince(cursor)
+	if !complete {
+		t.Fatalf("record unexpectedly incomplete")
+	}
+	found := false
+	for _, t := range touched {
+		if t == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("RemoveInst not recorded in touched set %v", touched)
+	}
+}
+
+func TestTouchedSinceRingOverflow(t *testing.T) {
+	d, r1, _ := buildPair(t)
+	cursor := d.Epoch()
+	for i := 0; i < touchedRingCap+5; i++ {
+		d.MoveInst(r1, geom.Point{X: int64(1000 + i), Y: 1200})
+	}
+	if _, complete := d.TouchedSince(cursor); complete {
+		t.Fatalf("record complete across ring overflow")
+	}
+	// A cursor taken after the overflow is tracked again.
+	cursor = d.Epoch()
+	d.MoveInst(r1, geom.Point{X: 9000, Y: 1200})
+	touched, complete := d.TouchedSince(cursor)
+	if !complete || len(touched) != 1 || touched[0] != r1.ID {
+		t.Fatalf("post-overflow TouchedSince = %v, %v; want [%d], complete",
+			touched, complete, r1.ID)
+	}
+}
+
+func TestPinSpaceCoversRemovedInsts(t *testing.T) {
+	d, r1, _ := buildPair(t)
+	before := d.PinSpace()
+	if before <= 0 {
+		t.Fatalf("PinSpace = %d", before)
+	}
+	d.RemoveInst(r1)
+	if d.PinSpace() != before {
+		t.Fatalf("PinSpace shrank on RemoveInst: %d -> %d", before, d.PinSpace())
+	}
+	if _, err := d.AddRegister("extra", cellOf(t, 1), geom.Point{X: 7000, Y: 1200}); err != nil {
+		t.Fatal(err)
+	}
+	if d.PinSpace() <= before {
+		t.Fatalf("PinSpace did not grow with a new instance: %d -> %d", before, d.PinSpace())
+	}
+}

@@ -254,6 +254,8 @@ type Design struct {
 	pins  []*Pin
 
 	nameToInst map[string]InstID
+
+	edits editLog
 }
 
 // NewDesign returns an empty design.
@@ -386,6 +388,11 @@ func (d *Design) Connect(p *Pin, n *Net) {
 	} else {
 		n.Sinks = append(n.Sinks, p.ID)
 	}
+	if n.IsClock {
+		d.noteClock(p.Inst)
+	} else {
+		d.noteStructural(p.Inst)
+	}
 }
 
 // Disconnect removes pin p from its net, if any.
@@ -405,6 +412,11 @@ func (d *Design) Disconnect(p *Pin) {
 		}
 	}
 	p.Net = NoID
+	if n.IsClock {
+		d.noteClock(p.Inst)
+	} else {
+		d.noteStructural(p.Inst)
+	}
 }
 
 // PinPos returns the absolute position of a pin.

@@ -1,0 +1,338 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/netlist"
+)
+
+// timingGraph is the cached, slice-backed data-path timing graph: a
+// compressed-sparse-row (CSR) arc array in both directions plus a
+// levelized topological order. It is built once per structural netlist
+// change and retained on the Engine across runs; parametric edits only
+// rewrite arcDelay entries in place.
+//
+// Arcs are the same set the map-based builder used to produce: net arcs
+// (driver→sink, wire delay ∝ Manhattan pin distance) and combinational
+// cell arcs (input→output, intrinsic + driveRes × load). Register and
+// clock pins carry no data arcs.
+type timingGraph struct {
+	nPins int
+
+	// Forward CSR: out-arcs of pin u are indices arcOff[u]..arcOff[u+1]
+	// into arcFrom/arcTo/arcDelay.
+	arcOff   []int32
+	arcFrom  []int32
+	arcTo    []int32
+	arcDelay []float64
+
+	// Reverse CSR: revArc[revOff[v]..revOff[v+1]] are forward-arc indices
+	// of the in-arcs of pin v, sorted by forward-arc index (hence by
+	// source pin) for deterministic iteration.
+	revOff []int32
+	revArc []int32
+
+	// Levelization of the involved pins (those touching any arc):
+	// level[v] == -1 for uninvolved pins, otherwise the longest-path depth
+	// from any zero-indegree involved pin. Every arc goes from a strictly
+	// lower to a strictly higher level, which is what makes the per-level
+	// sweeps safely parallel.
+	level     []int32
+	levelOff  []int32 // len numLevels+1; offsets into levelPins
+	levelPins []int32 // involved pins grouped by level, ascending pin ID
+	numLevels int
+}
+
+// buildGraph constructs the CSR graph and its levelization for the current
+// netlist state. A combinational cycle is an error.
+func buildGraph(d *netlist.Design) (*timingGraph, error) {
+	n := d.PinSpace()
+	g := &timingGraph{nPins: n}
+
+	// Pass 1: out-degree per pin.
+	outdeg := make([]int32, n)
+	d.Nets(func(nt *netlist.Net) {
+		if nt.IsClock || nt.Driver == netlist.NoID {
+			return
+		}
+		outdeg[nt.Driver] += int32(len(nt.Sinks))
+	})
+	d.Insts(func(in *netlist.Inst) {
+		if in.Kind != netlist.KindComb {
+			return
+		}
+		out := d.OutPin(in)
+		if out == nil || out.Net == netlist.NoID {
+			return
+		}
+		for _, pid := range in.Pins {
+			p := d.Pin(pid)
+			if p.Dir == netlist.DirIn && p.Net != netlist.NoID {
+				outdeg[pid]++
+			}
+		}
+	})
+
+	g.arcOff = make([]int32, n+1)
+	var m int32
+	for i := 0; i < n; i++ {
+		g.arcOff[i] = m
+		m += outdeg[i]
+	}
+	g.arcOff[n] = m
+	g.arcFrom = make([]int32, m)
+	g.arcTo = make([]int32, m)
+	g.arcDelay = make([]float64, m)
+
+	// Pass 2: fill arcs with their delays. The delay expressions are
+	// shared with the incremental recompute path (wireArcDelay,
+	// cellArcDelay) so full and incremental runs produce bit-identical
+	// floats.
+	cursor := make([]int32, n)
+	copy(cursor, g.arcOff[:n])
+	addArc := func(from, to netlist.PinID, delay float64) {
+		k := cursor[from]
+		cursor[from]++
+		g.arcFrom[k] = int32(from)
+		g.arcTo[k] = int32(to)
+		g.arcDelay[k] = delay
+	}
+	d.Nets(func(nt *netlist.Net) {
+		if nt.IsClock || nt.Driver == netlist.NoID {
+			return
+		}
+		dp := d.Pin(nt.Driver)
+		for _, s := range nt.Sinks {
+			addArc(dp.ID, s, wireArcDelay(d, dp, d.Pin(s)))
+		}
+	})
+	d.Insts(func(in *netlist.Inst) {
+		if in.Kind != netlist.KindComb {
+			return
+		}
+		out := d.OutPin(in)
+		if out == nil || out.Net == netlist.NoID {
+			return
+		}
+		delay := cellArcDelay(d, in, out)
+		for _, pid := range in.Pins {
+			p := d.Pin(pid)
+			if p.Dir == netlist.DirIn && p.Net != netlist.NoID {
+				addArc(pid, out.ID, delay)
+			}
+		}
+	})
+
+	// Reverse CSR.
+	indeg := make([]int32, n)
+	for k := int32(0); k < m; k++ {
+		indeg[g.arcTo[k]]++
+	}
+	g.revOff = make([]int32, n+1)
+	var r int32
+	for i := 0; i < n; i++ {
+		g.revOff[i] = r
+		r += indeg[i]
+	}
+	g.revOff[n] = r
+	g.revArc = make([]int32, m)
+	rcur := make([]int32, n)
+	copy(rcur, g.revOff[:n])
+	for k := int32(0); k < m; k++ {
+		v := g.arcTo[k]
+		g.revArc[rcur[v]] = k
+		rcur[v]++
+	}
+
+	// Levelize (Kahn over in-degrees, recording longest-path depth).
+	g.level = make([]int32, n)
+	involved := 0
+	for v := 0; v < n; v++ {
+		if outdeg[v] > 0 || indeg[v] > 0 {
+			g.level[v] = 0
+			involved++
+		} else {
+			g.level[v] = -1
+		}
+	}
+	remaining := make([]int32, n)
+	copy(remaining, indeg)
+	queue := make([]int32, 0, involved)
+	for v := 0; v < n; v++ {
+		if g.level[v] == 0 && remaining[v] == 0 {
+			queue = append(queue, int32(v))
+		}
+	}
+	ordered := 0
+	maxLevel := int32(0)
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		ordered++
+		lvl := g.level[u] + 1
+		for k := g.arcOff[u]; k < g.arcOff[u+1]; k++ {
+			v := g.arcTo[k]
+			if lvl > g.level[v] {
+				g.level[v] = lvl
+				if lvl > maxLevel {
+					maxLevel = lvl
+				}
+			}
+			remaining[v]--
+			if remaining[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if ordered != involved {
+		return nil, fmt.Errorf("sta: combinational cycle detected (%d of %d pins ordered)", ordered, involved)
+	}
+	g.numLevels = int(maxLevel) + 1
+	if involved == 0 {
+		g.numLevels = 0
+	}
+
+	// Bucket the involved pins by level, ascending pin ID within a level
+	// (counting sort keyed on level preserves pin order).
+	counts := make([]int32, g.numLevels+1)
+	for v := 0; v < n; v++ {
+		if g.level[v] >= 0 {
+			counts[g.level[v]]++
+		}
+	}
+	g.levelOff = make([]int32, g.numLevels+1)
+	var off int32
+	for l := 0; l < g.numLevels; l++ {
+		g.levelOff[l] = off
+		off += counts[l]
+	}
+	g.levelOff[g.numLevels] = off
+	g.levelPins = make([]int32, involved)
+	lcur := make([]int32, g.numLevels)
+	copy(lcur, g.levelOff[:g.numLevels])
+	for v := 0; v < n; v++ {
+		if l := g.level[v]; l >= 0 {
+			g.levelPins[lcur[l]] = int32(v)
+			lcur[l]++
+		}
+	}
+	return g, nil
+}
+
+// wireArcDelay is the net-arc (driver→sink) propagation delay.
+func wireArcDelay(d *netlist.Design, from, to *netlist.Pin) float64 {
+	return d.Timing.WireDelayPerDBU * float64(d.PinPos(from).ManhattanDist(d.PinPos(to)))
+}
+
+// cellArcDelay is the combinational cell-arc (any input→output) delay for
+// the instance's current output load.
+func cellArcDelay(d *netlist.Design, in *netlist.Inst, out *netlist.Pin) float64 {
+	return in.Comb.Intrinsic + in.Comb.DriveRes*d.NetLoadCap(d.Net(out.Net))
+}
+
+// pullArrival recomputes the arrival at pin v from its seed and its
+// in-arcs. Max is order-independent over floats, so the result does not
+// depend on iteration order or on which worker computes it.
+func (g *timingGraph) pullArrival(v int32, arr, seed []float64) float64 {
+	best := seed[v]
+	for k := g.revOff[v]; k < g.revOff[v+1]; k++ {
+		a := g.revArc[k]
+		if au := arr[g.arcFrom[a]]; au != negInf {
+			if c := au + g.arcDelay[a]; c > best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// pullRequired recomputes the required time at pin u from its endpoint
+// constraint and its out-arcs.
+func (g *timingGraph) pullRequired(u int32, req, endReq []float64) float64 {
+	best := endReq[u]
+	for k := g.arcOff[u]; k < g.arcOff[u+1]; k++ {
+		if rv := req[g.arcTo[k]]; !isPosInf(rv) {
+			if c := rv - g.arcDelay[k]; c < best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// forward runs the full arrival sweep: arr must be pre-initialized to the
+// seed values; levels are processed in ascending order, pins within a
+// level in parallel. Every arc goes level→strictly-higher-level, so within
+// one level no pin reads another's fresh value — the sweep is race-free
+// and its result independent of the worker count.
+func (g *timingGraph) forward(arr, seed []float64, workers int) {
+	for l := 1; l < g.numLevels; l++ {
+		pins := g.levelPins[g.levelOff[l]:g.levelOff[l+1]]
+		parallelChunks(len(pins), workers, func(lo, hi int) {
+			for _, v := range pins[lo:hi] {
+				arr[v] = g.pullArrival(v, arr, seed)
+			}
+		})
+	}
+}
+
+// backward runs the full required sweep: req must be pre-initialized to
+// the endpoint required times; levels are processed in descending order.
+func (g *timingGraph) backward(req, endReq []float64, workers int) {
+	for l := g.numLevels - 2; l >= 0; l-- {
+		pins := g.levelPins[g.levelOff[l]:g.levelOff[l+1]]
+		parallelChunks(len(pins), workers, func(lo, hi int) {
+			for _, u := range pins[lo:hi] {
+				req[u] = g.pullRequired(u, req, endReq)
+			}
+		})
+	}
+}
+
+const (
+	// parallelLevelThreshold is the minimum level population worth fanning
+	// out; below it the goroutine overhead dominates.
+	parallelLevelThreshold = 512
+	// minParallelChunk bounds how finely a level is split.
+	minParallelChunk = 256
+)
+
+// parallelChunks splits [0,n) into contiguous chunks across the worker
+// pool, following the Workers convention of the composition pipeline
+// (internal/core): <=0 means one worker per available CPU, 1 the
+// sequential path.
+func parallelChunks(n, workers int, f func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || n < parallelLevelThreshold {
+		f(0, n)
+		return
+	}
+	if maxChunks := n / minParallelChunk; workers > maxChunks {
+		workers = maxChunks
+	}
+	if workers <= 1 {
+		f(0, n)
+		return
+	}
+	size := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func isPosInf(v float64) bool { return math.IsInf(v, 1) }

@@ -7,19 +7,33 @@
 // timing-feasible move regions that placement compatibility (§2) is built
 // from.
 //
+// The analyzer is built for repeated analysis inside an optimization loop:
+// an Engine retains a CSR-backed timing graph with a cached levelized
+// topological order across runs, and consults the netlist's edit epoch
+// (netlist.Design.Epoch) to decide how much work a Run actually needs.
+// Structural edits (data-net connectivity) trigger a full rebuild;
+// parametric edits (moves, resizes, skews, clock-network changes) re-seed
+// and re-propagate only the fanin/fanout cone of the touched pins. The
+// forward-arrival and backward-required sweeps are levelized and fan out
+// across a worker pool (SetWorkers). Because every propagation step is a
+// pure max/min reduction, results are bit-identical for any worker count
+// and for incremental versus full runs; the full rebuild remains both the
+// fallback and the testing oracle.
+//
 // Only setup (max-delay) analysis is modeled; the paper does not involve
 // hold fixing.
 //
-// Concurrency: an Engine mutates only itself during Run, and a Results
+// Concurrency: an Engine mutates only itself during Run (worker goroutines
+// write disjoint slice elements, joined before Run returns), and a Results
 // snapshot is immutable once returned — no lazy caches, no package-level
 // state. Concurrent readers of one Results (slacks, regions) need no
 // locking; the parallel composition pipeline shares a single snapshot
 // across all workers. Engines on the same Design must not run while the
-// Design is being edited.
+// Design is being edited, and an Engine itself is not safe for concurrent
+// use.
 package sta
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/netlist"
@@ -55,13 +69,50 @@ func (r *Results) PinSlack(id netlist.PinID) float64 {
 	return r.Slack[id]
 }
 
+// RunStats counts how the engine satisfied its Run calls; used by tests
+// and benchmarks to assert the incremental path actually engaged.
+type RunStats struct {
+	// FullBuilds counts runs that rebuilt the timing graph from scratch.
+	FullBuilds int
+	// IncrementalRuns counts runs served by cone re-propagation over the
+	// retained graph.
+	IncrementalRuns int
+	// LastConePins is the number of pins re-evaluated by the most recent
+	// incremental run (0 after a full build).
+	LastConePins int
+}
+
 // Engine runs timing analysis on a design. The engine may be re-run after
-// netlist edits; per-register useful skews persist across runs and survive
-// register merges only if re-applied by the caller.
+// netlist edits — it watches the design's edit epoch and reuses its cached
+// timing graph whenever the edits since the previous run were
+// non-structural. Per-register useful skews persist across runs and
+// survive register merges only if re-applied by the caller.
 type Engine struct {
-	d     *netlist.Design
-	skew  map[netlist.InstID]float64
-	ideal bool
+	d       *netlist.Design
+	skew    map[netlist.InstID]float64
+	ideal   bool
+	workers int
+
+	// Cached analysis state, valid while `valid` is true.
+	g          *timingGraph
+	cursor     uint64 // design epoch the cache reflects
+	timingSnap netlist.TimingSpec
+	idealSnap  bool
+	valid      bool
+
+	arr, req, slack []float64
+	seedArr         []float64 // launch seed per pin (negInf when unseeded)
+	endReq          []float64 // endpoint required per pin (+Inf when none)
+	effClk          map[netlist.InstID]float64
+	endpoints       []int32 // endpoint pins in deterministic check order
+
+	// Scratch for incremental runs (generation-stamped marks).
+	gen                    uint32
+	pinMark, slackMark     []uint32
+	fwdQueued, bwdQueued   []uint32
+	fwdBuckets, bwdBuckets [][]int32
+	slackDirty             []int32
+	stats                  RunStats
 }
 
 // New returns an analyzer for the design.
@@ -76,8 +127,14 @@ func New(d *netlist.Design) *Engine {
 // Propagated clocks (the default) follow buffers and gates.
 func (e *Engine) SetIdealClocks(on bool) { e.ideal = on }
 
+// SetWorkers bounds the worker pool the levelized arrival/required sweeps
+// fan out across, following the composition pipeline's convention: 0 (the
+// default) means one worker per available CPU, 1 the sequential path.
+// Results are bit-identical for any setting.
+func (e *Engine) SetWorkers(n int) { e.workers = n }
+
 // SetSkew assigns a useful clock skew (ps, positive = later clock) to a
-// register instance.
+// register instance. The next Run picks the change up incrementally.
 func (e *Engine) SetSkew(id netlist.InstID, ps float64) {
 	if ps == 0 {
 		delete(e.skew, id)
@@ -92,389 +149,196 @@ func (e *Engine) Skew(id netlist.InstID) float64 { return e.skew[id] }
 // ClearSkews removes all useful-skew assignments.
 func (e *Engine) ClearSkews() { e.skew = map[netlist.InstID]float64{} }
 
+// Invalidate drops the cached timing graph, forcing the next Run to
+// rebuild from scratch. Needed only when the design was edited behind the
+// netlist API's back (or for benchmarking the full path).
+func (e *Engine) Invalidate() { e.valid = false }
+
+// Stats reports how past Run calls were satisfied.
+func (e *Engine) Stats() RunStats { return e.stats }
+
 const negInf = math.MaxFloat64 * -1
 
-// Run performs a full timing analysis.
+// Run performs a timing analysis of the design's current state. The first
+// run (and any run after a structural or untracked edit) builds the full
+// graph; runs after parametric edits re-propagate only the affected cone.
+// Either way the returned snapshot is bit-identical to a from-scratch
+// analysis.
 func (e *Engine) Run() (*Results, error) {
 	d := e.d
-	nPins := e.pinSpace()
-	res := &Results{
-		Arrival:      make([]float64, nPins),
-		Required:     make([]float64, nPins),
-		Slack:        make([]float64, nPins),
-		ClockArrival: map[netlist.InstID]float64{},
-		WNS:          math.Inf(1),
-	}
-	for i := range res.Arrival {
-		res.Arrival[i] = negInf       // unreached
-		res.Required[i] = math.Inf(1) // unconstrained
-		res.Slack[i] = math.Inf(1)
-	}
-
-	arcs, rev, err := e.buildGraph()
-	if err != nil {
-		return nil, err
+	structural := !e.valid ||
+		d.StructuralEpoch() > e.cursor ||
+		d.PinSpace() != e.g.nPins ||
+		d.Timing != e.timingSnap
+	var touched []netlist.InstID
+	if !structural {
+		var complete bool
+		touched, complete = d.TouchedSince(e.cursor)
+		if !complete {
+			structural = true
+		} else if len(touched)*4 > d.NumInsts() {
+			// A huge touched set re-propagates most of the graph anyway;
+			// the plain full sweep is cheaper than worklist bookkeeping.
+			structural = true
+		}
 	}
 
-	clkArr, err := e.clockArrivals()
+	var err error
+	if structural {
+		err = e.runFull()
+	} else {
+		err = e.runIncremental(touched)
+	}
 	if err != nil {
+		e.valid = false
 		return nil, err
 	}
+	e.cursor = d.Epoch()
+	e.timingSnap = d.Timing
+	e.idealSnap = e.ideal
+	e.valid = true
+	return e.snapshot(), nil
+}
+
+// runFull rebuilds the graph, seeds and endpoint constraints, then runs
+// the two levelized sweeps over everything.
+func (e *Engine) runFull() error {
+	d := e.d
+	g, err := buildGraph(d)
+	if err != nil {
+		return err
+	}
+	e.g = g
+	n := g.nPins
+	e.arr = resizeFloats(e.arr, n)
+	e.req = resizeFloats(e.req, n)
+	e.slack = resizeFloats(e.slack, n)
+	e.seedArr = resizeFloats(e.seedArr, n)
+	e.endReq = resizeFloats(e.endReq, n)
+	for i := 0; i < n; i++ {
+		e.seedArr[i] = negInf
+		e.endReq[i] = math.Inf(1)
+	}
+
+	clk, err := e.clockArrivals()
+	if err != nil {
+		return err
+	}
+	e.effClk = make(map[netlist.InstID]float64, len(clk))
+	e.endpoints = e.endpoints[:0]
 	period := d.Timing.ClockPeriod
 
-	// Seed arrivals: input ports and register Q pins.
-	type seed struct {
-		pin netlist.PinID
-		at  float64
-	}
-	var seeds []seed
 	d.Insts(func(in *netlist.Inst) {
 		switch in.Kind {
 		case netlist.KindPort:
-			p := d.OutPin(in)
-			if p != nil && p.Net != netlist.NoID && !d.Net(p.Net).IsClock {
-				seeds = append(seeds, seed{p.ID, d.Timing.InputDelay})
+			if p := d.OutPin(in); p != nil && p.Net != netlist.NoID && !d.Net(p.Net).IsClock {
+				e.seedArr[p.ID] = d.Timing.InputDelay
+			}
+			if p := d.FindPin(in, netlist.PinData, 0); p != nil && p.Dir == netlist.DirIn && p.Net != netlist.NoID {
+				e.endReq[p.ID] = period - d.Timing.OutputDelay
+				e.endpoints = append(e.endpoints, int32(p.ID))
 			}
 		case netlist.KindReg:
-			arr := clkArr[in.ID] + e.skew[in.ID]
-			res.ClockArrival[in.ID] = arr
-			cell := in.RegCell
-			for b := 0; b < cell.Bits; b++ {
-				q := d.QPin(in, b)
-				if q == nil || q.Net == netlist.NoID {
-					continue
-				}
-				load := d.NetLoadCap(d.Net(q.Net))
-				seeds = append(seeds, seed{q.ID, arr + cell.Intrinsic + cell.DriveRes*load})
-			}
-		}
-	})
-
-	// Forward propagation in topological order (Kahn over the arc graph).
-	order, err := toposort(nPins, arcs, rev)
-	if err != nil {
-		return nil, err
-	}
-	for _, s := range seeds {
-		if s.at > res.Arrival[s.pin] {
-			res.Arrival[s.pin] = s.at
-		}
-	}
-	for _, u := range order {
-		au := res.Arrival[u]
-		if au == negInf {
-			continue
-		}
-		for _, a := range arcs[u] {
-			if v := au + a.delay; v > res.Arrival[a.to] {
-				res.Arrival[a.to] = v
-			}
-		}
-	}
-
-	// Endpoint required times.
-	setReq := func(pin netlist.PinID, req float64) {
-		if req < res.Required[pin] {
-			res.Required[pin] = req
-		}
-	}
-	d.Insts(func(in *netlist.Inst) {
-		switch in.Kind {
-		case netlist.KindReg:
-			arr := clkArr[in.ID] + e.skew[in.ID]
+			eff := clk[in.ID] + e.skew[in.ID]
+			e.effClk[in.ID] = eff
+			e.seedRegister(in, eff, nil)
 			for b := 0; b < in.Bits(); b++ {
 				dp := d.DPin(in, b)
 				if dp == nil || dp.Net == netlist.NoID {
 					continue
 				}
-				setReq(dp.ID, arr+period-in.RegCell.Setup)
-			}
-		case netlist.KindPort:
-			p := d.FindPin(in, netlist.PinData, 0)
-			if p != nil && p.Dir == netlist.DirIn && p.Net != netlist.NoID {
-				setReq(p.ID, period-d.Timing.OutputDelay)
+				e.endReq[dp.ID] = eff + period - in.RegCell.Setup
+				e.endpoints = append(e.endpoints, int32(dp.ID))
 			}
 		}
 	})
 
-	// Backward propagation of required times.
-	for i := len(order) - 1; i >= 0; i-- {
-		u := order[i]
-		for _, a := range arcs[u] {
-			if res.Required[a.to] < math.Inf(1) {
-				if r := res.Required[a.to] - a.delay; r < res.Required[u] {
-					res.Required[u] = r
-				}
-			}
+	workers := e.workers
+	copy(e.arr, e.seedArr)
+	g.forward(e.arr, e.seedArr, workers)
+	copy(e.req, e.endReq)
+	g.backward(e.req, e.endReq, workers)
+	parallelChunks(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.slack[i] = slackOf(e.arr[i], e.req[i])
 		}
-	}
+	})
+	e.stats.FullBuilds++
+	e.stats.LastConePins = 0
+	return nil
+}
 
-	// Slacks and endpoint statistics.
-	for pid := 0; pid < nPins; pid++ {
-		arr, req := res.Arrival[pid], res.Required[pid]
-		if arr == negInf || req == math.Inf(1) {
+// seedRegister writes the launch seeds (clk→Q arrival) for every connected
+// Q pin of the register. When fwd is non-nil (incremental runs), pins
+// whose seed changed are pushed onto the forward worklist.
+func (e *Engine) seedRegister(in *netlist.Inst, eff float64, fwd *worklist) {
+	d := e.d
+	cell := in.RegCell
+	for b := 0; b < cell.Bits; b++ {
+		q := d.QPin(in, b)
+		if q == nil || q.Net == netlist.NoID {
 			continue
 		}
-		res.Slack[pid] = req - arr
+		load := d.NetLoadCap(d.Net(q.Net))
+		seed := eff + cell.Intrinsic + cell.DriveRes*load
+		if e.seedArr[q.ID] != seed {
+			e.seedArr[q.ID] = seed
+			if fwd != nil {
+				fwd.push(int32(q.ID))
+			}
+		}
 	}
-	d.Insts(func(in *netlist.Inst) {
-		check := func(p *netlist.Pin) {
-			if p == nil || p.Net == netlist.NoID {
-				return
-			}
-			if res.Arrival[p.ID] == negInf {
-				return // unreached endpoint: unconstrained path
-			}
-			s := res.Slack[p.ID]
-			if math.IsInf(s, 1) {
-				return
-			}
-			res.TotalEndpoints++
-			if s < res.WNS {
-				res.WNS = s
-			}
-			if s < 0 {
-				res.TNS += s
-				res.FailingEndpoints++
-			}
+}
+
+func slackOf(arr, req float64) float64 {
+	if arr == negInf || math.IsInf(req, 1) {
+		return math.Inf(1)
+	}
+	return req - arr
+}
+
+// snapshot assembles an immutable Results from the engine's working state,
+// recomputing the endpoint statistics in the deterministic endpoint order
+// (the sum in TNS makes the order observable in the last bits).
+func (e *Engine) snapshot() *Results {
+	res := &Results{
+		Arrival:      append([]float64(nil), e.arr...),
+		Required:     append([]float64(nil), e.req...),
+		Slack:        append([]float64(nil), e.slack...),
+		ClockArrival: make(map[netlist.InstID]float64, len(e.effClk)),
+		WNS:          math.Inf(1),
+	}
+	for id, v := range e.effClk {
+		res.ClockArrival[id] = v
+	}
+	for _, pin := range e.endpoints {
+		if e.arr[pin] == negInf {
+			continue // unreached endpoint: unconstrained path
 		}
-		switch in.Kind {
-		case netlist.KindReg:
-			for b := 0; b < in.Bits(); b++ {
-				check(d.DPin(in, b))
-			}
-		case netlist.KindPort:
-			p := d.FindPin(in, netlist.PinData, 0)
-			if p != nil && p.Dir == netlist.DirIn {
-				check(p)
-			}
+		s := e.slack[pin]
+		if math.IsInf(s, 1) {
+			continue
 		}
-	})
+		res.TotalEndpoints++
+		if s < res.WNS {
+			res.WNS = s
+		}
+		if s < 0 {
+			res.TNS += s
+			res.FailingEndpoints++
+		}
+	}
 	if res.TotalEndpoints == 0 {
 		res.WNS = 0
 	}
-	return res, nil
+	return res
 }
 
-type arc struct {
-	to    netlist.PinID
-	delay float64
-}
-
-// pinSpace returns an upper bound on pin IDs.
-func (e *Engine) pinSpace() int {
-	n := 0
-	e.d.Insts(func(in *netlist.Inst) {
-		for _, pid := range in.Pins {
-			if int(pid) >= n {
-				n = int(pid) + 1
-			}
-		}
-	})
-	return n
-}
-
-// buildGraph creates the data-path timing arcs: net arcs (driver→sink, wire
-// delay) and combinational cell arcs (input→output). Register and clock
-// pins do not get data arcs; registers are handled as launch/capture
-// boundaries, and the clock network is analyzed separately.
-func (e *Engine) buildGraph() (map[netlist.PinID][]arc, map[netlist.PinID]int, error) {
-	d := e.d
-	arcs := map[netlist.PinID][]arc{}
-	indeg := map[netlist.PinID]int{}
-
-	// Net arcs.
-	d.Nets(func(n *netlist.Net) {
-		if n.IsClock || n.Driver == netlist.NoID {
-			return
-		}
-		dp := d.Pin(n.Driver)
-		dpos := d.PinPos(dp)
-		for _, s := range n.Sinks {
-			sp := d.Pin(s)
-			delay := d.Timing.WireDelayPerDBU * float64(dpos.ManhattanDist(d.PinPos(sp)))
-			arcs[dp.ID] = append(arcs[dp.ID], arc{sp.ID, delay})
-			indeg[sp.ID]++
-		}
-	})
-	// Cell arcs for combinational instances.
-	d.Insts(func(in *netlist.Inst) {
-		if in.Kind != netlist.KindComb {
-			return
-		}
-		out := d.OutPin(in)
-		if out == nil || out.Net == netlist.NoID {
-			return
-		}
-		load := d.NetLoadCap(d.Net(out.Net))
-		delay := in.Comb.Intrinsic + in.Comb.DriveRes*load
-		for _, pid := range in.Pins {
-			p := d.Pin(pid)
-			if p.Dir != netlist.DirIn || p.Net == netlist.NoID {
-				continue
-			}
-			arcs[p.ID] = append(arcs[p.ID], arc{out.ID, delay})
-			indeg[out.ID]++
-		}
-	})
-	return arcs, indeg, nil
-}
-
-// toposort returns a topological order of all pins that participate in
-// arcs. A combinational cycle is an error.
-func toposort(nPins int, arcs map[netlist.PinID][]arc, indeg map[netlist.PinID]int) ([]netlist.PinID, error) {
-	inDegree := make([]int, nPins)
-	involved := make([]bool, nPins)
-	for u, as := range arcs {
-		involved[u] = true
-		for _, a := range as {
-			involved[a.to] = true
-		}
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
 	}
-	total := 0
-	for pid, deg := range indeg {
-		inDegree[pid] = deg
-	}
-	var queue []netlist.PinID
-	for pid := 0; pid < nPins; pid++ {
-		if involved[pid] && inDegree[pid] == 0 {
-			queue = append(queue, netlist.PinID(pid))
-		}
-		if involved[pid] {
-			total++
-		}
-	}
-	order := make([]netlist.PinID, 0, total)
-	for len(queue) > 0 {
-		u := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		order = append(order, u)
-		for _, a := range arcs[u] {
-			inDegree[a.to]--
-			if inDegree[a.to] == 0 {
-				queue = append(queue, a.to)
-			}
-		}
-	}
-	if len(order) != total {
-		return nil, fmt.Errorf("sta: combinational cycle detected (%d of %d pins ordered)", len(order), total)
-	}
-	return order, nil
-}
-
-// clockArrivals propagates clock delay from clock sources (ports or
-// undriven clock nets, which are treated as ideal) through clock buffers
-// and gates to every register's clock pin.
-func (e *Engine) clockArrivals() (map[netlist.InstID]float64, error) {
-	d := e.d
-	arr := map[netlist.InstID]float64{}
-	if e.ideal {
-		d.Insts(func(in *netlist.Inst) {
-			if in.Kind == netlist.KindReg {
-				arr[in.ID] = 0
-			}
-		})
-		return arr, nil
-	}
-
-	// netArrival computes arrival at a clock net's driver output,
-	// memoized; ideal (0) at roots.
-	memo := map[netlist.NetID]float64{}
-	var netArrival func(id netlist.NetID, depth int) (float64, error)
-	netArrival = func(id netlist.NetID, depth int) (float64, error) {
-		if v, ok := memo[id]; ok {
-			return v, nil
-		}
-		if depth > 10000 {
-			return 0, fmt.Errorf("sta: clock network loop on net %d", id)
-		}
-		n := d.Net(id)
-		if n == nil || n.Driver == netlist.NoID {
-			memo[id] = 0 // ideal clock root
-			return 0, nil
-		}
-		drv := d.Pin(n.Driver)
-		in := d.Inst(drv.Inst)
-		if in == nil {
-			memo[id] = 0
-			return 0, nil
-		}
-		switch in.Kind {
-		case netlist.KindPort:
-			memo[id] = 0
-			return 0, nil
-		case netlist.KindClockBuf, netlist.KindClockGate:
-			// Arrival at the buffer input net + buffer delay.
-			var inNet netlist.NetID = netlist.NoID
-			for _, pid := range in.Pins {
-				p := d.Pin(pid)
-				if p.Dir == netlist.DirIn && p.Net != netlist.NoID {
-					pn := d.Net(p.Net)
-					if pn.IsClock || p.Kind == netlist.PinData {
-						inNet = p.Net
-						break
-					}
-				}
-			}
-			base := 0.0
-			if inNet != netlist.NoID {
-				b, err := netArrival(inNet, depth+1)
-				if err != nil {
-					return 0, err
-				}
-				// Wire delay from upstream driver to this buffer's input.
-				up := d.Net(inNet)
-				if up.Driver != netlist.NoID {
-					b += d.Timing.WireDelayPerDBU *
-						float64(d.PinPos(d.Pin(up.Driver)).ManhattanDist(d.PinPos(pinOfNetSinkOnInst(d, up, in))))
-				}
-				base = b
-			}
-			load := d.NetLoadCap(n)
-			v := base + in.Comb.Intrinsic + in.Comb.DriveRes*load
-			memo[id] = v
-			return v, nil
-		default:
-			memo[id] = 0
-			return 0, nil
-		}
-	}
-
-	var firstErr error
-	d.Insts(func(in *netlist.Inst) {
-		if in.Kind != netlist.KindReg || firstErr != nil {
-			return
-		}
-		cp := d.ClockPin(in)
-		if cp == nil || cp.Net == netlist.NoID {
-			arr[in.ID] = 0
-			return
-		}
-		base, err := netArrival(cp.Net, 0)
-		if err != nil {
-			firstErr = err
-			return
-		}
-		n := d.Net(cp.Net)
-		wire := 0.0
-		if n.Driver != netlist.NoID {
-			wire = d.Timing.WireDelayPerDBU *
-				float64(d.PinPos(d.Pin(n.Driver)).ManhattanDist(d.PinPos(cp)))
-		}
-		arr[in.ID] = base + wire
-	})
-	return arr, firstErr
-}
-
-func pinOfNetSinkOnInst(d *netlist.Design, n *netlist.Net, in *netlist.Inst) *netlist.Pin {
-	for _, s := range n.Sinks {
-		p := d.Pin(s)
-		if p.Inst == in.ID {
-			return p
-		}
-	}
-	// Fall back to the instance origin.
-	return &netlist.Pin{Inst: in.ID}
+	return make([]float64, n)
 }
 
 // RegDSlack returns the worst slack across the register's connected D pins

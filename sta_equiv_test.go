@@ -1,0 +1,161 @@
+package repro
+
+// Equivalence oracle for the incremental STA engine: on every bench
+// profile, a retained engine re-run after random register edits must be
+// byte-identical — exact float equality, no tolerance — to a fresh
+// from-scratch analysis of the same design state, at every worker count.
+// Parametric rounds (moves, resizes, skews) exercise the cone
+// re-propagation path; merge rounds exercise the structural-rebuild
+// fallback.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+func sameSTAResults(t *testing.T, ctx string, got, want *sta.Results) {
+	t.Helper()
+	if len(got.Arrival) != len(want.Arrival) {
+		t.Fatalf("%s: pin space differs: %d vs %d", ctx, len(got.Arrival), len(want.Arrival))
+	}
+	for i := range got.Arrival {
+		if got.Arrival[i] != want.Arrival[i] {
+			t.Fatalf("%s: arrival[%d] = %v want %v", ctx, i, got.Arrival[i], want.Arrival[i])
+		}
+		if got.Required[i] != want.Required[i] {
+			t.Fatalf("%s: required[%d] = %v want %v", ctx, i, got.Required[i], want.Required[i])
+		}
+		if got.Slack[i] != want.Slack[i] {
+			t.Fatalf("%s: slack[%d] = %v want %v", ctx, i, got.Slack[i], want.Slack[i])
+		}
+	}
+	if got.WNS != want.WNS || got.TNS != want.TNS ||
+		got.FailingEndpoints != want.FailingEndpoints ||
+		got.TotalEndpoints != want.TotalEndpoints {
+		t.Fatalf("%s: summary differs: got WNS=%v TNS=%v fail=%d/%d, want WNS=%v TNS=%v fail=%d/%d",
+			ctx, got.WNS, got.TNS, got.FailingEndpoints, got.TotalEndpoints,
+			want.WNS, want.TNS, want.FailingEndpoints, want.TotalEndpoints)
+	}
+	if len(got.ClockArrival) != len(want.ClockArrival) {
+		t.Fatalf("%s: clock arrival count differs: %d vs %d",
+			ctx, len(got.ClockArrival), len(want.ClockArrival))
+	}
+	for id, v := range want.ClockArrival {
+		if got.ClockArrival[id] != v {
+			t.Fatalf("%s: clock arrival[%d] = %v want %v", ctx, id, got.ClockArrival[id], v)
+		}
+	}
+}
+
+func TestSTAIncrementalEquivalence(t *testing.T) {
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, 2)
+		if n > 2 {
+			workerCounts = append(workerCounts, n)
+		}
+	}
+	for _, name := range []string{"D1", "D2", "D3", "D4", "D5"} {
+		for _, workers := range workerCounts {
+			t.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(t *testing.T) {
+				gen, err := bench.Generate(profileByName(name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := gen.Design
+				eng := sta.New(d)
+				eng.SetWorkers(workers)
+				if _, err := eng.Run(); err != nil {
+					t.Fatal(err)
+				}
+
+				rng := rand.New(rand.NewSource(int64(len(name)*1000 + workers)))
+				skews := map[netlist.InstID]float64{}
+				for round := 0; round < 3; round++ {
+					regs := d.Registers()
+					if len(regs) == 0 {
+						t.Fatal("no registers")
+					}
+					nEdit := len(regs) / 100
+					if nEdit < 1 {
+						nEdit = 1
+					}
+					for i := 0; i < nEdit; i++ {
+						r := regs[rng.Intn(len(regs))]
+						if r.Fixed || r.SizeOnly {
+							continue
+						}
+						op := rng.Intn(3)
+						if round == 2 {
+							op = rng.Intn(4) // final round adds structural merges
+						}
+						switch op {
+						case 0:
+							d.MoveInst(r, geom.Point{
+								X: r.Pos.X + int64(rng.Intn(4001)) - 2000,
+								Y: r.Pos.Y + int64(rng.Intn(4001)) - 2000,
+							})
+						case 1:
+							cs := d.Lib.CellsOfWidth(r.RegCell.Class, r.RegCell.Bits)
+							if len(cs) > 1 {
+								if err := d.ResizeRegister(r, cs[rng.Intn(len(cs))]); err != nil {
+									t.Fatal(err)
+								}
+							}
+						case 2:
+							s := float64(rng.Intn(41) - 20)
+							eng.SetSkew(r.ID, s)
+							if s == 0 {
+								delete(skews, r.ID)
+							} else {
+								skews[r.ID] = s
+							}
+						case 3:
+							o := regs[rng.Intn(len(regs))]
+							if o == r || o.Fixed || o.SizeOnly ||
+								o.RegCell.Class != r.RegCell.Class {
+								continue
+							}
+							cs := d.Lib.CellsOfWidth(r.RegCell.Class, r.Bits()+o.Bits())
+							if len(cs) == 0 {
+								continue
+							}
+							mergeName := fmt.Sprintf("eqm_%s_%d_%d_%d", name, workers, round, i)
+							// Structural compatibility (shared control nets)
+							// often fails for random pairs; that is fine — a
+							// failed merge edits nothing.
+							if _, err := d.MergeRegisters([]*netlist.Inst{r, o}, cs[0], mergeName, r.Pos); err == nil {
+								regs = d.Registers()
+							}
+						}
+					}
+
+					got, err := eng.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					oracle := sta.New(d)
+					oracle.SetWorkers(workers)
+					for id, s := range skews {
+						oracle.SetSkew(id, s)
+					}
+					want, err := oracle.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameSTAResults(t, fmt.Sprintf("round %d", round), got, want)
+				}
+				if s := eng.Stats(); s.IncrementalRuns == 0 {
+					t.Fatalf("incremental path never engaged: %+v", s)
+				}
+			})
+		}
+	}
+}
