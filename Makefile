@@ -2,13 +2,14 @@
 #
 #   make            # build + test (tier-1)
 #   make race       # vet + race-detector test sweep (the CI gate)
+#   make lint       # gofmt + vet static checks (the CI lint gate)
 #   make bench      # paper-reproduction benchmark suite
 #   make bench-smoke # one-iteration benchmark pass (CI: catches bit-rot)
 #   make golden     # regenerate flow golden files after an intended change
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke golden fuzz
+.PHONY: all build test race lint bench bench-smoke golden fuzz
 
 all: build test
 
@@ -21,6 +22,13 @@ test:
 race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Stdlib-only static analysis: the toolchain ships gofmt and vet, so the
+# gate needs no network or third-party installs. gofmt -l prints offending
+# files; the grep inverts that into a failing exit code with the list shown.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/compat"
+	"repro/internal/compatgraph"
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/geom"
@@ -367,6 +368,65 @@ func BenchmarkSTA_FullVsIncremental(b *testing.B) {
 				b.ReportMetric(float64(s.LastConePins), "cone_pins")
 			}
 			b.ReportMetric(float64(d.PinSpace()), "pins")
+		})
+	}
+}
+
+// BenchmarkCompatGraph_FullVsDelta measures the retained compatibility-graph
+// engine against a from-scratch compat.Build after a ≤1% register wiggle —
+// the edit volume of one skew/sizing iteration. "full" rebuilds the whole
+// pairwise edge phase each round; "delta" re-tests only pairs owned by
+// changed nodes (both produce identical graphs; the oracle tests in
+// internal/compatgraph pin the equality). pairs_tested / edges_retested
+// report how little work the delta path actually did.
+func BenchmarkCompatGraph_FullVsDelta(b *testing.B) {
+	gen, err := bench.Generate(bench.D1(bench.ProfileOpts{Scale: 10}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := gen.Design
+	regs := d.Registers()
+	nEdit := len(regs) / 100
+	if nEdit < 1 {
+		nEdit = 1
+	}
+	eng := sta.New(d)
+	eng.SetIdealClocks(true)
+	for _, mode := range []string{"full", "delta"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			cg := compatgraph.New(d, gen.Plan, compatgraph.Options{Compat: compat.DefaultOptions()})
+			res, err := eng.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var g *compat.Graph = cg.Update(res) // prime the retained state
+			rng := rand.New(rand.NewSource(7))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				wiggleRegs(d, regs, rng, nEdit)
+				if res, err = eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if mode == "full" {
+					g = compat.Build(d, res, gen.Plan, compat.DefaultOptions())
+				} else {
+					g = cg.Update(res)
+				}
+			}
+			b.StopTimer()
+			st := g.Stats()
+			b.ReportMetric(float64(st.Edges), "edges")
+			if mode == "delta" {
+				cs := cg.Stats()
+				if cs.Deltas == 0 {
+					b.Fatal("delta path never engaged")
+				}
+				b.ReportMetric(float64(cs.LastPairsTested), "pairs_tested")
+				b.ReportMetric(float64(cs.LastEdgesRetested), "edges_retested")
+			}
 		})
 	}
 }

@@ -1,9 +1,14 @@
-// Command mbrstats reports the composition-relevant statistics of a design
-// without modifying it: register counts by width and class, compatibility
-// graph size and exclusion reasons, clock domain population, scan chain
-// shapes, timing summary, and clock network metrics.
+// Command mbrstats reports the composition-relevant statistics of a design:
+// register counts by width and class, compatibility graph size and exclusion
+// reasons, clock domain population, scan chain shapes, timing summary, and
+// clock network metrics. The default run does not modify the design;
+// -passes N additionally runs N composition passes on the in-memory copy
+// and reports, per pass, what the retained incremental compatibility-graph
+// engine did (node/edge counts, connected components, delta-vs-rebuild
+// decision, edges re-tested).
 //
 //	mbrstats -profile D1
+//	mbrstats -profile D1 -passes 3
 //	mbrstats -design d1.json -scan d1.scan.json
 //	benchgen -profile D3 -out /dev/stdout | mbrstats -design /dev/stdin
 package main
@@ -16,6 +21,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/compat"
+	"repro/internal/compatgraph"
+	"repro/internal/core"
 	"repro/internal/cts"
 	"repro/internal/lib"
 	"repro/internal/netlist"
@@ -30,6 +37,7 @@ func main() {
 		scale      = flag.Int("scale", bench.DefaultScale, "profile scale divisor")
 		designPath = flag.String("design", "", "design JSON (alternative to -profile)")
 		scanPath   = flag.String("scan", "", "scan plan JSON (with -design)")
+		passes     = flag.Int("passes", 0, "run this many composition passes and report per-pass compat-graph deltas")
 	)
 	flag.Parse()
 
@@ -129,10 +137,13 @@ func main() {
 	fmt.Printf("  WNS %.1f ps, TNS %.2f ns, failing %d / %d endpoints\n",
 		res.WNS, -res.TNS/1000, res.FailingEndpoints, res.TotalEndpoints)
 
-	g := compat.Build(d, res, plan, compat.DefaultOptions())
+	cg := compatgraph.New(d, plan, compatgraph.Options{Compat: compat.DefaultOptions()})
+	g := cg.Update(res)
+	cg.Subgraphs(30)
 	st := g.Stats()
-	fmt.Printf("\ncompatibility graph: %d composable of %d registers, %d edges\n",
-		st.ComposableRegs, st.TotalRegs, st.Edges)
+	cs := cg.Stats()
+	fmt.Printf("\ncompatibility graph: %d composable of %d registers, %d edges, %d components\n",
+		st.ComposableRegs, st.TotalRegs, st.Edges, cs.LastComponents)
 	var reasons []string
 	for why := range st.ExcludedByWhy {
 		reasons = append(reasons, string(why))
@@ -181,6 +192,49 @@ func main() {
 	m := route.Estimate(d, route.DefaultOptions())
 	fmt.Printf("\ncongestion: %d overflow edges, max util %.2f, avg util %.2f\n",
 		m.OverflowEdges(), m.MaxUtilization(), m.AvgUtilization())
+
+	if *passes > 0 {
+		runPasses(d, plan, eng, cg, *passes)
+	}
+}
+
+// runPasses drives composition passes on the in-memory design, reporting
+// what the retained compatibility-graph engine does on each one.
+func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgraph.Engine, passes int) {
+	fmt.Printf("\ncomposition passes (incremental compat engine):\n")
+	for p := 1; p <= passes; p++ {
+		res, err := eng.Run()
+		if err != nil {
+			fatal(err)
+		}
+		g := cg.Update(res)
+		subs := cg.Subgraphs(30)
+		cs := cg.Stats()
+		fmt.Printf("pass %d: %d nodes, %d edges, %d components (%d splits reused)\n",
+			p, cs.LastNodes, cs.LastEdges, cs.LastComponents, cs.LastComponentsReused)
+		fmt.Printf("  update: %s  (+%d nodes, -%d nodes, %d dirty)\n",
+			cs.LastKind, cs.LastNodesAdded, cs.LastNodesRemoved, cs.LastNodesDirty)
+		fmt.Printf("  pairs tested %d (edges re-tested %d); rejected by func/scan/place/timing: %d/%d/%d/%d\n",
+			cs.LastPairsTested, cs.LastEdgesRetested,
+			cs.LastRejectsByTest[0], cs.LastRejectsByTest[1],
+			cs.LastRejectsByTest[2], cs.LastRejectsByTest[3])
+		opts := core.DefaultOptions()
+		opts.NamePrefix = fmt.Sprintf("mbrp%d", p)
+		cres, err := core.ComposeWith(d, g, plan, subs, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  composed: %d MBRs, registers %d -> %d\n",
+			len(cres.MBRs), cres.RegsBefore, cres.RegsAfter)
+		if len(cres.MBRs) == 0 {
+			fmt.Printf("  converged after %d passes (delta/rebuild decisions: %d/%d)\n",
+				p, cs.Deltas, cs.Rebuilds)
+			return
+		}
+	}
+	cs := cg.Stats()
+	fmt.Printf("  totals: %d updates, %d delta, %d full sweeps\n",
+		cs.Updates, cs.Deltas, cs.Rebuilds)
 }
 
 func fatal(err error) {

@@ -177,9 +177,9 @@ func Generate(spec Spec) (*Result, error) {
 		sizeOnly := rng.Intn(2) == 0
 		for _, r := range bank {
 			if sizeOnly {
-				r.SizeOnly = true
+				d.SetSizeOnly(r, true)
 			} else {
-				r.Fixed = true
+				d.SetFixed(r, true)
 			}
 		}
 	}
@@ -311,7 +311,7 @@ func generateRegisters(
 			if err != nil {
 				return nil, err
 			}
-			r.GateGroup = gate - 1 // -1 for the ungated root domain
+			d.SetGateGroup(r, gate-1) // -1 for the ungated root domain
 			d.Connect(d.ClockPin(r), clockNets[gate])
 			if class.Reset != lib.NoReset {
 				rn, ok := rstNets[gate]
@@ -607,7 +607,7 @@ func generateScan(
 		ids := make([]netlist.InstID, 0, hi-lo)
 		for _, r := range scannable[lo:hi] {
 			ids = append(ids, r.ID)
-			r.ScanPartition = c
+			d.SetScanPartition(r, c)
 		}
 		ordered := rng.Float64() < spec.OrderedChainFrac
 		if _, err := plan.AddChain(c, ordered, ids); err != nil {

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/lib"
 	"repro/internal/netlist"
 	"repro/internal/scan"
 	"repro/internal/sta"
@@ -31,6 +32,24 @@ func DefaultOptions() Options {
 	return Options{MaxSlackDiff: 150}
 }
 
+// TestMask identifies the four §2 pairwise compatibility tests. A set bit
+// means the test passed (or, in per-edge bookkeeping, that the test is known
+// to pass for the pair).
+type TestMask uint8
+
+// The four tests, in evaluation order.
+const (
+	TestFunctional TestMask = 1 << iota
+	TestScan
+	TestPlacement
+	TestTiming
+
+	// TestAll is the mask of a compatible pair: all four tests pass.
+	TestAll = TestFunctional | TestScan | TestPlacement | TestTiming
+	// TestStatic covers the tests whose inputs are captured by StaticSig.
+	TestStatic = TestFunctional | TestScan
+)
+
 // NotComposableReason explains why a register was excluded from the graph.
 type NotComposableReason string
 
@@ -52,6 +71,48 @@ type RegInfo struct {
 	Region geom.Rect
 	// ClockPos is the current clock pin position (drives partitioning).
 	ClockPos geom.Point
+}
+
+// StaticSig captures the structural inputs of the functional and scan
+// pairwise tests for one register: two registers pass both tests iff the
+// relevant fields agree (see PairTest). The signature only changes when the
+// instance itself is edited — connectivity edits note the instance in the
+// design's touched log, and a scan plan never reassigns chain identity,
+// partition or ordering of a surviving register — so cached signatures of
+// untouched registers stay exact across flow passes.
+type StaticSig struct {
+	Class     lib.FuncClass
+	GateGroup int
+	Clock     netlist.NetID
+	Reset     netlist.NetID
+	Enable    netlist.NetID
+	ScanEn    netlist.NetID
+	Scanned   bool
+	Chain     int
+	Partition int
+	Ordered   bool
+}
+
+// SigOf computes the static signature of a register under a scan plan (plan
+// may be nil for unscanned designs).
+func SigOf(d *netlist.Design, plan *scan.Plan, in *netlist.Inst) StaticSig {
+	s := StaticSig{
+		Class:     in.RegCell.Class,
+		GateGroup: in.GateGroup,
+		Clock:     d.ClockNet(in),
+		Reset:     d.ControlNet(in, netlist.PinReset),
+		Enable:    d.ControlNet(in, netlist.PinEnable),
+		ScanEn:    d.ControlNet(in, netlist.PinScanEnable),
+	}
+	if plan != nil {
+		if c, _, ok := plan.ChainOf(in.ID); ok {
+			s.Scanned = true
+			s.Chain = c.ID
+			s.Partition = c.Partition
+			s.Ordered = c.Ordered
+		}
+	}
+	return s
 }
 
 // Graph is the compatibility graph over composable registers.
@@ -101,28 +162,20 @@ func Build(d *netlist.Design, res *sta.Results, plan *scan.Plan, opts Options) *
 		opts:     opts,
 		d:        d,
 	}
+	var sigs []StaticSig
 	for _, in := range d.Registers() {
-		if reason, bad := excluded(d, in); bad {
+		if reason, bad := Exclusion(d, in); bad {
 			g.Excluded[in.ID] = reason
 			continue
 		}
-		info := &RegInfo{
-			Inst:   in,
-			DSlack: clampSlack(sta.RegDSlack(d, res, in), opts.SlackClamp),
-			QSlack: clampSlack(sta.RegQSlack(d, res, in), opts.SlackClamp),
-			Region: sta.FeasibleRegion(d, res, in),
-		}
-		if cp := d.ClockPin(in); cp != nil {
-			info.ClockPos = d.PinPos(cp)
-		} else {
-			info.ClockPos = in.Center()
-		}
-		g.Regs = append(g.Regs, info)
+		g.Regs = append(g.Regs, NewRegInfo(d, res, in, opts))
+		sigs = append(sigs, SigOf(d, plan, in))
 	}
+	allowCross := plan == nil || plan.AllowCrossChain
 	g.Adj = make([][]int, len(g.Regs))
 	for i := 0; i < len(g.Regs); i++ {
 		for j := i + 1; j < len(g.Regs); j++ {
-			if g.compatible(g.Regs[i], g.Regs[j]) {
+			if _, ok := PairTest(g.opts, g.Regs[i], g.Regs[j], sigs[i], sigs[j], allowCross); ok {
 				g.Adj[i] = append(g.Adj[i], j)
 				g.Adj[j] = append(g.Adj[j], i)
 			}
@@ -131,9 +184,45 @@ func Build(d *netlist.Design, res *sta.Results, plan *scan.Plan, opts Options) *
 	return g
 }
 
-// excluded applies the node-eligibility rules (the paper's reasons a–c for
+// FromParts assembles a Graph from externally maintained pieces (the
+// incremental engine in internal/compatgraph). regs must be in ascending
+// instance-ID order with ascending-sorted adjacency rows — the same layout
+// Build produces — so downstream consumers see byte-identical graphs.
+func FromParts(d *netlist.Design, plan *scan.Plan, opts Options, regs []*RegInfo, adj [][]int, excludedIDs map[netlist.InstID]NotComposableReason) *Graph {
+	if opts.SlackClamp == 0 {
+		opts.SlackClamp = d.Timing.ClockPeriod
+	}
+	return &Graph{
+		Regs:     regs,
+		Adj:      adj,
+		Excluded: excludedIDs,
+		Plan:     plan,
+		opts:     opts,
+		d:        d,
+	}
+}
+
+// NewRegInfo computes the cached per-register data for one eligible
+// register. opts.SlackClamp must already be resolved (Build and the
+// incremental engine default it to the clock period).
+func NewRegInfo(d *netlist.Design, res *sta.Results, in *netlist.Inst, opts Options) *RegInfo {
+	info := &RegInfo{
+		Inst:   in,
+		DSlack: clampSlack(sta.RegDSlack(d, res, in), opts.SlackClamp),
+		QSlack: clampSlack(sta.RegQSlack(d, res, in), opts.SlackClamp),
+		Region: sta.FeasibleRegion(d, res, in),
+	}
+	if cp := d.ClockPin(in); cp != nil {
+		info.ClockPos = d.PinPos(cp)
+	} else {
+		info.ClockPos = in.Center()
+	}
+	return info
+}
+
+// Exclusion applies the node-eligibility rules (the paper's reasons a–c for
 // registers that cannot be composed at all).
-func excluded(d *netlist.Design, in *netlist.Inst) (NotComposableReason, bool) {
+func Exclusion(d *netlist.Design, in *netlist.Inst) (NotComposableReason, bool) {
 	if in.Fixed || in.SizeOnly {
 		return ReasonFixed, true
 	}
@@ -163,39 +252,72 @@ func clampSlack(s, clamp float64) float64 {
 // compatible implements the pairwise edge rule: functional, scan, placement
 // and timing compatibility.
 func (g *Graph) compatible(a, b *RegInfo) bool {
-	return g.functionalCompatible(a.Inst, b.Inst) &&
-		g.scanCompatible(a.Inst, b.Inst) &&
-		placementCompatible(a, b) &&
-		g.timingCompatible(a, b)
+	allowCross := g.Plan == nil || g.Plan.AllowCrossChain
+	_, ok := PairTest(g.opts, a, b,
+		SigOf(g.d, g.Plan, a.Inst), SigOf(g.d, g.Plan, b.Inst), allowCross)
+	return ok
 }
 
-// functionalCompatible: same functional class, same clock net, same
+// PairTest runs the four §2 pairwise tests in evaluation order (functional,
+// scan, placement, timing) and returns the mask of tests that passed; ok
+// reports full compatibility (mask == TestAll). allowCross is the scan
+// plan's AllowCrossChain flag (true for a nil plan).
+func PairTest(opts Options, a, b *RegInfo, sa, sb StaticSig, allowCross bool) (TestMask, bool) {
+	var m TestMask
+	if !functionalCompatibleSig(sa, sb) {
+		return m, false
+	}
+	m |= TestFunctional
+	if !scanCompatibleSig(sa, sb, allowCross) {
+		return m, false
+	}
+	m |= TestScan
+	dm, ok := PairTestDynamic(opts, a, b)
+	return m | dm, ok
+}
+
+// PairTestDynamic runs only the placement and timing tests. It is valid for
+// pairs whose functional/scan statics are already known to pass (an
+// existing edge whose endpoints had only parametric edits).
+func PairTestDynamic(opts Options, a, b *RegInfo) (TestMask, bool) {
+	var m TestMask
+	if !placementCompatible(a, b) {
+		return m, false
+	}
+	m |= TestPlacement
+	if !timingCompatible(opts, a, b) {
+		return m, false
+	}
+	return m | TestTiming, true
+}
+
+// functionalCompatibleSig: same functional class, same clock net, same
 // clock-gating group, and identical control nets (reset, enable, scan
 // enable) so the MBR's shared control pins can connect legally.
-func (g *Graph) functionalCompatible(a, b *netlist.Inst) bool {
-	if a.RegCell.Class != b.RegCell.Class {
-		return false
-	}
-	if a.GateGroup != b.GateGroup {
-		return false
-	}
-	d := g.d
-	if d.ClockNet(a) != d.ClockNet(b) {
-		return false
-	}
-	for _, kind := range []netlist.PinKind{netlist.PinReset, netlist.PinEnable, netlist.PinScanEnable} {
-		if d.ControlNet(a, kind) != d.ControlNet(b, kind) {
-			return false
-		}
-	}
-	return true
+func functionalCompatibleSig(a, b StaticSig) bool {
+	return a.Class == b.Class &&
+		a.GateGroup == b.GateGroup &&
+		a.Clock == b.Clock &&
+		a.Reset == b.Reset &&
+		a.Enable == b.Enable &&
+		a.ScanEn == b.ScanEn
 }
 
-func (g *Graph) scanCompatible(a, b *netlist.Inst) bool {
-	if g.Plan == nil {
-		return true
+// scanCompatibleSig mirrors scan.Plan.PairCompatible over cached statics.
+func scanCompatibleSig(a, b StaticSig, allowCross bool) bool {
+	if a.Scanned != b.Scanned {
+		return false
 	}
-	return g.Plan.PairCompatible(a.ID, b.ID)
+	if !a.Scanned {
+		return true // both unscanned
+	}
+	if a.Partition != b.Partition {
+		return false
+	}
+	if a.Ordered || b.Ordered || !allowCross {
+		return a.Chain == b.Chain
+	}
+	return true
 }
 
 // placementCompatible: the timing-feasible regions must overlap, providing
@@ -208,12 +330,12 @@ func placementCompatible(a, b *RegInfo) bool {
 // timingCompatible: no opposite D/Q slack signs (they would pull the MBR's
 // useful skew in opposite directions), and similar slack magnitudes on both
 // the D side and the Q side.
-func (g *Graph) timingCompatible(a, b *RegInfo) bool {
+func timingCompatible(opts Options, a, b *RegInfo) bool {
 	if opposed(a.DSlack, a.QSlack, b.DSlack, b.QSlack) {
 		return false
 	}
-	return math.Abs(a.DSlack-b.DSlack) <= g.opts.MaxSlackDiff &&
-		math.Abs(a.QSlack-b.QSlack) <= g.opts.MaxSlackDiff
+	return math.Abs(a.DSlack-b.DSlack) <= opts.MaxSlackDiff &&
+		math.Abs(a.QSlack-b.QSlack) <= opts.MaxSlackDiff
 }
 
 // opposed reports the forbidden combination: one register with positive D /

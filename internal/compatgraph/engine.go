@@ -1,0 +1,573 @@
+// Package compatgraph retains the register compatibility graph (§2) across
+// flow passes and maintains it by delta instead of rebuild. The engine keeps
+// the current node set (live composable registers with their cached RegInfo
+// and static signatures), the adjacency with a per-edge test mask, and
+// per-node reason bitmasks recording which of the four compatibility tests
+// rejected candidate pairs at that node. After each pass it consumes the
+// netlist epoch log plus the fresh STA results to remove merged/deleted
+// nodes, insert new MBR nodes, and re-test only pairs with at least one
+// changed endpoint — candidate pairs come from a geometric grid over the
+// move regions, not an all-pairs scan. On structural overflow (or when too
+// much of the design changed for a delta to pay off) it falls back to the
+// full pairwise sweep, which is also the package's correctness oracle
+// (compat.Build).
+//
+// Exactness strategy: node data (slacks, feasible regions, clock positions,
+// signatures) is recomputed for every live register on every Update — this
+// is linear in design size, identical to Build's node phase, and sidesteps
+// the web of indirect dependencies a region has on neighboring pin
+// positions and skews. The delta applies to the O(n²) pairwise edge phase,
+// which dominates Build: pairs are re-tested only when an endpoint's
+// recomputed data differs from the cache, so the maintained graph is
+// exactly the graph Build would produce, by construction, at every step.
+package compatgraph
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/compat"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/scan"
+	"repro/internal/sta"
+)
+
+// Options tunes the engine.
+type Options struct {
+	// Compat are the edge rules, shared with compat.Build. SlackClamp
+	// defaults to the design's clock period, as in Build.
+	Compat compat.Options
+	// Workers bounds the fan-out of pairwise re-tests (0 = GOMAXPROCS,
+	// 1 = sequential). The result is byte-identical at any worker count.
+	Workers int
+	// MaxDeltaFrac is the changed-node fraction above which Update falls
+	// back to the full pairwise sweep (default 0.25: past that point the
+	// neighborhood queries cost more than the dense row sweep saves).
+	MaxDeltaFrac float64
+}
+
+// UpdateKind names the decision an Update took, for stats and the CLI.
+type UpdateKind string
+
+const (
+	// KindInitial: first Update after New or Invalidate — full sweep.
+	KindInitial UpdateKind = "initial"
+	// KindOverflow: the bounded touched-log overflowed (bulk structural
+	// churn, e.g. a CTS rebuild) — full sweep.
+	KindOverflow UpdateKind = "touched-overflow"
+	// KindTimingChanged: the design's TimingSpec changed, invalidating
+	// every clamped slack and region — full sweep.
+	KindTimingChanged UpdateKind = "timing-changed"
+	// KindDirtyOverflow: more than MaxDeltaFrac of the nodes changed —
+	// full sweep.
+	KindDirtyOverflow UpdateKind = "dirty-overflow"
+	// KindDelta: neighborhood-limited re-test of changed nodes only.
+	KindDelta UpdateKind = "delta"
+)
+
+// Stats describes the engine's work; Last* fields cover the latest Update.
+type Stats struct {
+	Updates  int
+	Rebuilds int // full pairwise sweeps (any non-delta kind)
+	Deltas   int
+
+	LastKind          UpdateKind
+	LastNodes         int
+	LastEdges         int
+	LastNodesAdded    int
+	LastNodesRemoved  int
+	LastNodesDirty    int // changed nodes re-tested by the last delta
+	LastPairsTested   int // pair tests evaluated by the last Update
+	LastEdgesRetested int // previously existing edges among them
+	// LastRejectsByTest counts pairs rejected by each test (functional,
+	// scan, placement, timing) in the last Update's evaluations.
+	LastRejectsByTest [4]int
+
+	// LastComponents / LastComponentsReused describe the most recent
+	// Subgraphs call: connected components seen and how many reused a
+	// cached geometric split (clean components).
+	LastComponents       int
+	LastComponentsReused int
+}
+
+// node is the retained per-register state.
+type node struct {
+	inst *netlist.Inst
+	info *compat.RegInfo
+	sig  compat.StaticSig
+	// nbr maps neighbor instance → the mask of tests evaluated when the
+	// edge was last confirmed (TestAll when fully tested; the static bits
+	// are carried from cache when only dynamics were re-run).
+	nbr map[netlist.InstID]compat.TestMask
+	// bound accumulates which tests rejected candidate pairs at this node
+	// (the per-node reason bitmask).
+	bound compat.TestMask
+}
+
+// Engine is the retained incremental compatibility graph. Not safe for
+// concurrent use; an Update must not run while the design is being edited.
+type Engine struct {
+	d    *netlist.Design
+	plan *scan.Plan
+	opts Options
+
+	valid      bool
+	cursor     uint64
+	timingSnap netlist.TimingSpec
+	allowCross bool
+
+	nodes    map[netlist.InstID]*node
+	excluded map[netlist.InstID]compat.NotComposableReason
+
+	part  *partition.Cache
+	graph *compat.Graph // last materialized graph
+	order []netlist.InstID
+	stats Stats
+}
+
+// New creates an engine over a design and scan plan (plan may be nil). The
+// first Update performs a full sweep.
+func New(d *netlist.Design, plan *scan.Plan, opts Options) *Engine {
+	if opts.MaxDeltaFrac <= 0 {
+		opts.MaxDeltaFrac = 0.25
+	}
+	return &Engine{d: d, plan: plan, opts: opts, part: partition.NewCache()}
+}
+
+// Invalidate forces the next Update to take the full-sweep path.
+func (e *Engine) Invalidate() { e.valid = false }
+
+// Stats returns the accumulated counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Graph returns the graph materialized by the last Update (nil before the
+// first one).
+func (e *Engine) Graph() *compat.Graph { return e.graph }
+
+func (e *Engine) workers() int {
+	w := e.opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+func (e *Engine) compatOpts() compat.Options {
+	o := e.opts.Compat
+	if o.SlackClamp == 0 {
+		o.SlackClamp = e.d.Timing.ClockPeriod
+	}
+	return o
+}
+
+// Update brings the retained graph up to date with the design and the given
+// fresh STA results, and materializes it. The returned graph is exactly the
+// graph compat.Build would produce on the same inputs, independent of the
+// worker count and of whether the delta or the full path ran.
+func (e *Engine) Update(res *sta.Results) *compat.Graph {
+	d := e.d
+	opts := e.compatOpts()
+	allowCross := e.plan == nil || e.plan.AllowCrossChain
+
+	_, complete := d.TouchedSince(e.cursor)
+	kind := KindDelta
+	switch {
+	case !e.valid:
+		kind = KindInitial
+	case !complete:
+		kind = KindOverflow
+	case d.Timing != e.timingSnap || allowCross != e.allowCross:
+		kind = KindTimingChanged
+	}
+
+	// Node phase: recompute every live register's eligibility, info and
+	// signature (see the package comment for why this is not delta'd).
+	regs := d.Registers()
+	order := make([]netlist.InstID, 0, len(regs))
+	infos := make([]*compat.RegInfo, 0, len(regs))
+	sigs := make([]compat.StaticSig, 0, len(regs))
+	excluded := make(map[netlist.InstID]compat.NotComposableReason)
+	for _, in := range regs {
+		if reason, bad := compat.Exclusion(d, in); bad {
+			excluded[in.ID] = reason
+			continue
+		}
+		order = append(order, in.ID)
+		infos = append(infos, compat.NewRegInfo(d, res, in, opts))
+		sigs = append(sigs, compat.SigOf(d, e.plan, in))
+	}
+
+	// Diff against the retained node set.
+	added := 0
+	dirtyOrd := make([]int, 0, 16)
+	isDirty := make([]bool, len(order))
+	sDirty := make([]bool, len(order))
+	seen := make(map[netlist.InstID]bool, len(order))
+	for i, id := range order {
+		seen[id] = true
+		old, ok := e.nodes[id]
+		if ok && old.sig == sigs[i] && *old.info == *infos[i] {
+			continue // clean: every test input unchanged
+		}
+		if !ok {
+			added++
+		}
+		isDirty[i] = true
+		sDirty[i] = !ok || old.sig != sigs[i]
+		dirtyOrd = append(dirtyOrd, i)
+	}
+	removed := 0
+	for id := range e.nodes {
+		if !seen[id] {
+			removed++
+		}
+	}
+
+	if kind == KindDelta &&
+		float64(len(dirtyOrd)+removed) > e.opts.MaxDeltaFrac*float64(len(order)) {
+		kind = KindDirtyOverflow
+	}
+
+	st := &e.stats
+	st.Updates++
+	st.LastKind = kind
+	st.LastNodesAdded = added
+	st.LastNodesRemoved = removed
+	st.LastNodesDirty = len(dirtyOrd)
+	st.LastPairsTested = 0
+	st.LastEdgesRetested = 0
+	st.LastRejectsByTest = [4]int{}
+
+	if kind == KindDelta {
+		st.Deltas++
+		e.applyDelta(opts, allowCross, order, infos, sigs, isDirty, sDirty, dirtyOrd, seen)
+	} else {
+		st.Rebuilds++
+		e.fullSweep(opts, allowCross, order, infos, sigs)
+	}
+
+	e.excluded = excluded
+	e.order = order
+	e.valid = true
+	e.cursor = d.Epoch()
+	e.timingSnap = d.Timing
+	e.allowCross = allowCross
+	e.graph = e.materialize(opts)
+	st.LastNodes = len(order)
+	st.LastEdges = e.graph.NumEdges()
+	return e.graph
+}
+
+// Subgraphs decomposes the current graph exactly like partition.Decompose
+// (connected components, then geometric splits of oversized ones) but
+// reuses cached splits for components untouched since the previous call.
+func (e *Engine) Subgraphs(maxNodes int) [][]int {
+	g := e.graph
+	out := e.part.Decompose(len(g.Regs), g.Adj,
+		func(i int) geom.Point { return g.Regs[i].ClockPos },
+		maxNodes,
+		func(i int) int64 { return int64(g.Regs[i].Inst.ID) })
+	ps := e.part.Stats()
+	e.stats.LastComponents = ps.Components
+	e.stats.LastComponentsReused = ps.Reused
+	return out
+}
+
+// fullSweep rebuilds the whole adjacency with the same double loop as
+// compat.Build, row-parallel across workers.
+func (e *Engine) fullSweep(opts compat.Options, allowCross bool,
+	order []netlist.InstID, infos []*compat.RegInfo, sigs []compat.StaticSig) {
+
+	n := len(order)
+	rows := make([][]int32, n)   // per-row: ordinals j>i that passed
+	bound := make([]int32, n)    // per-row first-failing accumulation mask
+	rejects := make([][4]int, n) // per-row reject counts
+	pairs := make([]int, n)
+	workers := e.workers()
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Stride over rows: row i costs n-i tests, striding balances.
+			for i := w; i < n; i += workers {
+				var row []int32
+				for j := i + 1; j < n; j++ {
+					mask, ok := compat.PairTest(opts, infos[i], infos[j], sigs[i], sigs[j], allowCross)
+					pairs[i]++
+					if ok {
+						row = append(row, int32(j))
+					} else {
+						ff := firstFailing(mask)
+						bound[i] |= int32(ff)
+						rejects[i][testIndex(ff)]++
+					}
+				}
+				rows[i] = row
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	nodes := make(map[netlist.InstID]*node, n)
+	for i, id := range order {
+		nodes[id] = &node{
+			inst: infos[i].Inst,
+			info: infos[i],
+			sig:  sigs[i],
+			nbr:  map[netlist.InstID]compat.TestMask{},
+		}
+	}
+	st := &e.stats
+	for i := range rows {
+		st.LastPairsTested += pairs[i]
+		for t := 0; t < 4; t++ {
+			st.LastRejectsByTest[t] += rejects[i][t]
+		}
+		a := nodes[order[i]]
+		a.bound = compat.TestMask(bound[i])
+		for _, j := range rows[i] {
+			b := nodes[order[j]]
+			a.nbr[order[j]] = compat.TestAll
+			b.nbr[order[i]] = compat.TestAll
+		}
+	}
+	e.nodes = nodes
+}
+
+// deltaResult is one worker's verdicts for one dirty node's candidates.
+type deltaResult struct {
+	cand  []int32 // candidate ordinals, ascending
+	mask  []compat.TestMask
+	ok    []bool
+	retst []bool // pair was a previously confirmed edge
+	bound compat.TestMask
+}
+
+// applyDelta re-tests only pairs with a changed endpoint, finding candidate
+// partners through a geometric grid over the move regions.
+func (e *Engine) applyDelta(opts compat.Options, allowCross bool,
+	order []netlist.InstID, infos []*compat.RegInfo, sigs []compat.StaticSig,
+	isDirty, sDirty []bool, dirtyOrd []int, seen map[netlist.InstID]bool) {
+
+	n := len(order)
+	// Neighborhood index: every node's region, bucketed over the core.
+	// Cell size tracks the average region: a finer grid would file every
+	// slack-generous region into hundreds of cells and make queries visit
+	// them all, degrading far below a plain O(n) candidate scan. With
+	// near-core-sized regions the dims collapse to 1x1, which IS that scan.
+	var sumW, sumH int64
+	for _, info := range infos {
+		sumW += info.Region.Hi.X - info.Region.Lo.X
+		sumH += info.Region.Hi.Y - info.Region.Lo.Y
+	}
+	dimCap := int(math.Ceil(math.Sqrt(float64(n))))
+	if dimCap > 64 {
+		dimCap = 64
+	}
+	grid := geom.NewGrid(e.d.Core,
+		boundedDim(e.d.Core.Hi.X-e.d.Core.Lo.X, sumW, n, dimCap),
+		boundedDim(e.d.Core.Hi.Y-e.d.Core.Lo.Y, sumH, n, dimCap))
+	for i, info := range infos {
+		grid.InsertRect(int32(i), info.Region)
+	}
+
+	// Compute phase (read-only on the retained maps): each dirty node
+	// gathers overlap candidates and tests the pairs it owns — (dirty,
+	// clean) always, (dirty, dirty) only from the lower ordinal.
+	results := make([]deltaResult, len(dirtyOrd))
+	workers := e.workers()
+	if workers > len(dirtyOrd) {
+		workers = len(dirtyOrd)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stamp := make([]int32, n)
+			for k := range stamp {
+				stamp[k] = -1
+			}
+			for di := w; di < len(dirtyOrd); di += workers {
+				i := dirtyOrd[di]
+				r := &results[di]
+				grid.QueryRect(infos[i].Region, func(j int32) {
+					if int(j) == i || stamp[j] == int32(di) {
+						return
+					}
+					stamp[j] = int32(di)
+					if isDirty[j] && int(j) < i {
+						return // owned by the lower dirty ordinal
+					}
+					r.cand = append(r.cand, j)
+				})
+				sort.Slice(r.cand, func(a, b int) bool { return r.cand[a] < r.cand[b] })
+				oldA := e.nodes[order[i]]
+				for _, j := range r.cand {
+					var hadEdge bool
+					if oldA != nil {
+						_, hadEdge = oldA.nbr[order[j]]
+					}
+					var mask compat.TestMask
+					var ok bool
+					if hadEdge && !sDirty[i] && !sDirty[j] {
+						// Statics passed when the edge was confirmed and
+						// neither signature changed: re-run dynamics only.
+						mask, ok = compat.PairTestDynamic(opts, infos[i], infos[int(j)])
+						mask |= compat.TestStatic
+					} else {
+						mask, ok = compat.PairTest(opts, infos[i], infos[int(j)], sigs[i], sigs[int(j)], allowCross)
+					}
+					r.mask = append(r.mask, mask)
+					r.ok = append(r.ok, ok)
+					r.retst = append(r.retst, hadEdge)
+					if !ok {
+						r.bound |= firstFailing(mask)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Merge phase (sequential): drop edges of removed and dirty nodes,
+	// refresh node payloads, then add the confirmed pairs.
+	for id, nd := range e.nodes {
+		if !seen[id] {
+			for v := range nd.nbr {
+				delete(e.nodes[v].nbr, id)
+			}
+			delete(e.nodes, id)
+		}
+	}
+	for _, i := range dirtyOrd {
+		id := order[i]
+		if nd, ok := e.nodes[id]; ok {
+			for v := range nd.nbr {
+				delete(e.nodes[v].nbr, id)
+			}
+			nd.nbr = map[netlist.InstID]compat.TestMask{}
+		} else {
+			e.nodes[id] = &node{nbr: map[netlist.InstID]compat.TestMask{}}
+		}
+	}
+	for i, id := range order {
+		nd := e.nodes[id]
+		nd.inst = infos[i].Inst
+		nd.info = infos[i]
+		nd.sig = sigs[i]
+	}
+	st := &e.stats
+	for di, r := range results {
+		i := dirtyOrd[di]
+		a := e.nodes[order[i]]
+		a.bound = r.bound
+		st.LastPairsTested += len(r.cand)
+		for k, j := range r.cand {
+			if r.retst[k] {
+				st.LastEdgesRetested++
+			}
+			if !r.ok[k] {
+				st.LastRejectsByTest[testIndex(firstFailing(r.mask[k]))]++
+				continue
+			}
+			b := e.nodes[order[j]]
+			a.nbr[order[j]] = r.mask[k]
+			b.nbr[order[i]] = r.mask[k]
+		}
+	}
+}
+
+// materialize produces the compat.Graph view: nodes in ascending instance-ID
+// order (the Build order) with CSR-backed, ascending-sorted adjacency rows.
+func (e *Engine) materialize(opts compat.Options) *compat.Graph {
+	n := len(e.order)
+	ordOf := make(map[netlist.InstID]int, n)
+	regs := make([]*compat.RegInfo, n)
+	for i, id := range e.order {
+		ordOf[id] = i
+		regs[i] = e.nodes[id].info
+	}
+	total := 0
+	for _, id := range e.order {
+		total += len(e.nodes[id].nbr)
+	}
+	backing := make([]int, 0, total)
+	adj := make([][]int, n)
+	for i, id := range e.order {
+		nd := e.nodes[id]
+		start := len(backing)
+		for v := range nd.nbr {
+			backing = append(backing, ordOf[v])
+		}
+		row := backing[start:len(backing):len(backing)]
+		sort.Ints(row)
+		adj[i] = row
+	}
+	exc := make(map[netlist.InstID]compat.NotComposableReason, len(e.excluded))
+	for id, why := range e.excluded {
+		exc[id] = why
+	}
+	return compat.FromParts(e.d, e.plan, opts, regs, adj, exc)
+}
+
+// firstFailing extracts the first test not passed, in evaluation order.
+func firstFailing(passed compat.TestMask) compat.TestMask {
+	for _, t := range [4]compat.TestMask{compat.TestFunctional, compat.TestScan, compat.TestPlacement, compat.TestTiming} {
+		if passed&t == 0 {
+			return t
+		}
+	}
+	return 0
+}
+
+func testIndex(t compat.TestMask) int {
+	switch t {
+	case compat.TestFunctional:
+		return 0
+	case compat.TestScan:
+		return 1
+	case compat.TestPlacement:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// BoundMask returns the per-node reason bitmask of a register: which tests
+// rejected candidate pairs at that node the last time it was re-tested.
+func (e *Engine) BoundMask(id netlist.InstID) compat.TestMask {
+	if nd, ok := e.nodes[id]; ok {
+		return nd.bound
+	}
+	return 0
+}
+
+// boundedDim picks a grid dimension whose cell size is no smaller than the
+// average region extent along that axis, capped at dimCap: regions then
+// cover O(1) cells each, keeping insert and query linear in n.
+func boundedDim(core, sumExtent int64, n, dimCap int) int {
+	if n == 0 || core <= 0 {
+		return 1
+	}
+	avg := sumExtent / int64(n)
+	if avg <= 0 {
+		return dimCap
+	}
+	dim := int(core / avg)
+	if dim < 1 {
+		dim = 1
+	}
+	if dim > dimCap {
+		dim = dimCap
+	}
+	return dim
+}

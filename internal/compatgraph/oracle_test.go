@@ -1,0 +1,295 @@
+package compatgraph_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/compat"
+	"repro/internal/compatgraph"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/partition"
+	"repro/internal/sta"
+)
+
+// oracleScale keeps the five profiles small enough for many edit rounds.
+const oracleScale = 300
+
+func genProfile(t testing.TB, name string) *bench.Result {
+	t.Helper()
+	o := bench.ProfileOpts{Scale: oracleScale}
+	var spec bench.Spec
+	switch name {
+	case "D1":
+		spec = bench.D1(o)
+	case "D2":
+		spec = bench.D2(o)
+	case "D3":
+		spec = bench.D3(o)
+	case "D4":
+		spec = bench.D4(o)
+	case "D5":
+		spec = bench.D5(o)
+	default:
+		t.Fatalf("unknown profile %s", name)
+	}
+	b, err := bench.Generate(spec)
+	if err != nil {
+		t.Fatalf("generate %s: %v", name, err)
+	}
+	return b
+}
+
+// requireGraphsEqual asserts exact equality with the compat.Build oracle:
+// node set and order, every RegInfo field, adjacency, and exclusions.
+func requireGraphsEqual(t *testing.T, ctx string, got, want *compat.Graph) {
+	t.Helper()
+	if len(got.Regs) != len(want.Regs) {
+		t.Fatalf("%s: node count %d != oracle %d", ctx, len(got.Regs), len(want.Regs))
+	}
+	for i := range want.Regs {
+		g, w := got.Regs[i], want.Regs[i]
+		if g.Inst.ID != w.Inst.ID {
+			t.Fatalf("%s: node %d is inst %d, oracle has %d", ctx, i, g.Inst.ID, w.Inst.ID)
+		}
+		if g.DSlack != w.DSlack || g.QSlack != w.QSlack ||
+			g.Region != w.Region || g.ClockPos != w.ClockPos {
+			t.Fatalf("%s: node %d (inst %d) RegInfo diverged:\n got %+v\nwant %+v",
+				ctx, i, g.Inst.ID, *g, *w)
+		}
+	}
+	for i := range want.Adj {
+		g, w := got.Adj[i], want.Adj[i]
+		if len(g) != len(w) {
+			t.Fatalf("%s: node %d degree %d != oracle %d (got %v want %v)",
+				ctx, i, len(g), len(w), g, w)
+		}
+		for k := range w {
+			if g[k] != w[k] {
+				t.Fatalf("%s: node %d adjacency diverged: got %v want %v", ctx, i, g, w)
+			}
+		}
+	}
+	if len(got.Excluded) != len(want.Excluded) {
+		t.Fatalf("%s: excluded count %d != oracle %d", ctx, len(got.Excluded), len(want.Excluded))
+	}
+	for id, why := range want.Excluded {
+		if got.Excluded[id] != why {
+			t.Fatalf("%s: excluded[%d] = %q, oracle %q", ctx, id, got.Excluded[id], why)
+		}
+	}
+}
+
+// mutate applies one randomized edit round: moves, resizes, skews, and a
+// composition pass (which merges registers and rewrites the scan plan).
+func mutate(t *testing.T, b *bench.Result, eng *sta.Engine, rng *rand.Rand, round int) {
+	t.Helper()
+	d := b.Design
+	regs := d.Registers()
+	if len(regs) == 0 {
+		return
+	}
+	// Parametric edits: a few moves and resizes.
+	for k := 0; k < 1+rng.Intn(5); k++ {
+		r := regs[rng.Intn(len(regs))]
+		if r.Fixed {
+			continue
+		}
+		d.MoveInst(r, geom.Point{
+			X: r.Pos.X + int64(rng.Intn(4001)) - 2000,
+			Y: r.Pos.Y + int64(rng.Intn(4001)) - 2000,
+		})
+	}
+	for k := 0; k < rng.Intn(3); k++ {
+		r := regs[rng.Intn(len(regs))]
+		if r.Fixed || r.SizeOnly {
+			continue
+		}
+		cands := d.Lib.CellsOfWidth(r.RegCell.Class, r.RegCell.Bits)
+		if len(cands) > 1 {
+			if err := d.ResizeRegister(r, cands[rng.Intn(len(cands))]); err != nil {
+				t.Fatalf("resize: %v", err)
+			}
+		}
+	}
+	// Skew edits change slacks without touching the netlist at all.
+	for k := 0; k < rng.Intn(4); k++ {
+		r := regs[rng.Intn(len(regs))]
+		eng.SetSkew(r.ID, float64(rng.Intn(201)-100))
+	}
+	// Every third round, run a real composition pass: merges remove
+	// members, create MBR nodes, and update the scan plan.
+	if round%3 == 2 {
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatalf("sta for compose: %v", err)
+		}
+		g := compat.Build(d, res, b.Plan, compat.DefaultOptions())
+		opts := core.DefaultOptions()
+		opts.NamePrefix = fmt.Sprintf("orc%d", round)
+		if _, err := core.Compose(d, g, b.Plan, opts); err != nil {
+			t.Fatalf("compose: %v", err)
+		}
+	}
+}
+
+// TestDeltaEqualsBuildOracle is the equivalence oracle of the ISSUE: after
+// randomized rounds of merge/move/resize/skew edits on all five profiles,
+// the delta-maintained graph must equal a fresh compat.Build exactly, at
+// several worker counts.
+func TestDeltaEqualsBuildOracle(t *testing.T) {
+	for _, profile := range []string{"D1", "D2", "D3", "D4", "D5"} {
+		for _, workers := range []int{1, 2, runtime.NumCPU()} {
+			t.Run(fmt.Sprintf("%s/w%d", profile, workers), func(t *testing.T) {
+				b := genProfile(t, profile)
+				d := b.Design
+				eng := sta.New(d)
+				eng.SetIdealClocks(true)
+				cg := compatgraph.New(d, b.Plan, compatgraph.Options{Compat: compat.DefaultOptions(), Workers: workers})
+				rng := rand.New(rand.NewSource(int64(len(profile)*1000 + workers)))
+
+				for round := 0; round < 8; round++ {
+					res, err := eng.Run()
+					if err != nil {
+						t.Fatalf("round %d: sta: %v", round, err)
+					}
+					got := cg.Update(res)
+					want := compat.Build(d, res, b.Plan, compat.DefaultOptions())
+					ctx := fmt.Sprintf("%s w%d round %d (%s)",
+						profile, workers, round, cg.Stats().LastKind)
+					requireGraphsEqual(t, ctx, got, want)
+					mutate(t, b, eng, rng, round)
+				}
+				st := cg.Stats()
+				if st.Deltas == 0 {
+					t.Fatalf("no update took the delta path: %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineDeterministicAcrossWorkers materializes the same edit sequence
+// at several worker counts and requires identical graphs.
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	type snap struct {
+		g  *compat.Graph
+		st compatgraph.Stats
+	}
+	run := func(workers int) []snap {
+		b := genProfile(t, "D2")
+		d := b.Design
+		eng := sta.New(d)
+		eng.SetIdealClocks(true)
+		cg := compatgraph.New(d, b.Plan, compatgraph.Options{Compat: compat.DefaultOptions(), Workers: workers})
+		rng := rand.New(rand.NewSource(99))
+		var out []snap
+		for round := 0; round < 6; round++ {
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatalf("sta: %v", err)
+			}
+			out = append(out, snap{cg.Update(res), cg.Stats()})
+			mutate(t, b, eng, rng, round)
+		}
+		return out
+	}
+	base := run(1)
+	for _, w := range []int{2, 4} {
+		other := run(w)
+		for i := range base {
+			requireGraphsEqual(t, fmt.Sprintf("w%d round %d", w, i), other[i].g, base[i].g)
+			// Decision stats must also be scheduling-independent.
+			bs, os := base[i].st, other[i].st
+			bs.LastComponents, os.LastComponents = 0, 0
+			bs.LastComponentsReused, os.LastComponentsReused = 0, 0
+			if bs != os {
+				t.Fatalf("w%d round %d stats diverged:\n base %+v\nother %+v", w, i, bs, os)
+			}
+		}
+	}
+}
+
+// TestSubgraphsMatchDecompose checks the cached decomposition against the
+// partition package on the materialized graph.
+func TestSubgraphsMatchDecompose(t *testing.T) {
+	b := genProfile(t, "D3")
+	d := b.Design
+	eng := sta.New(d)
+	eng.SetIdealClocks(true)
+	cg := compatgraph.New(d, b.Plan, compatgraph.Options{Compat: compat.DefaultOptions()})
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 5; round++ {
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatalf("sta: %v", err)
+		}
+		g := cg.Update(res)
+		got := cg.Subgraphs(30)
+		want := corePartitionOracle(g, 30)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d subgraphs != oracle %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("round %d: subgraph %d size mismatch", round, i)
+			}
+			for k := range want[i] {
+				if got[i][k] != want[i][k] {
+					t.Fatalf("round %d: subgraph %d diverged: got %v want %v",
+						round, i, got[i], want[i])
+				}
+			}
+		}
+		mutate(t, b, eng, rng, round)
+	}
+	if st := cg.Stats(); st.LastComponents == 0 {
+		t.Fatal("no components reported")
+	}
+}
+
+// TestOverflowFallsBackToRebuild floods the touched ring with edits and
+// checks the engine takes the full-sweep path and still matches the oracle.
+func TestOverflowFallsBackToRebuild(t *testing.T) {
+	b := genProfile(t, "D1")
+	d := b.Design
+	eng := sta.New(d)
+	eng.SetIdealClocks(true)
+	cg := compatgraph.New(d, b.Plan, compatgraph.Options{Compat: compat.DefaultOptions()})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg.Update(res)
+
+	// Far more edits than the touched ring holds (count actual moves:
+	// fixed registers are skipped without bumping the epoch).
+	rng := rand.New(rand.NewSource(1))
+	regs := d.Registers()
+	for moved := 0; moved < 5000; {
+		r := regs[rng.Intn(len(regs))]
+		if r.Fixed {
+			continue
+		}
+		d.MoveInst(r, geom.Point{X: r.Pos.X + 1, Y: r.Pos.Y})
+		moved++
+	}
+	res, err = eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cg.Update(res)
+	if k := cg.Stats().LastKind; k != compatgraph.KindOverflow {
+		t.Fatalf("expected touched-overflow fallback, got %q", k)
+	}
+	requireGraphsEqual(t, "overflow", got, compat.Build(d, res, b.Plan, compat.DefaultOptions()))
+}
+
+// corePartitionOracle mirrors what core.Compose does with a plain graph.
+func corePartitionOracle(g *compat.Graph, maxNodes int) [][]int {
+	return partition.Decompose(len(g.Regs), g.Adj,
+		func(i int) geom.Point { return g.Regs[i].ClockPos }, maxNodes)
+}

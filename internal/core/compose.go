@@ -20,6 +20,15 @@ import (
 // may be nil for unscanned designs. The design, and the plan when present,
 // are modified in place.
 func Compose(d *netlist.Design, g *compat.Graph, plan *scan.Plan, opts Options) (*Result, error) {
+	return ComposeWith(d, g, plan, nil, opts)
+}
+
+// ComposeWith is Compose with an optional precomputed decomposition of g
+// into subgraphs (node-id lists), as maintained by the incremental
+// compatibility engine's partition cache; nil means decompose here. The
+// subgraphs must equal what partition.Decompose(g, opts.MaxSubgraphNodes)
+// returns — the caches guarantee that — so results are identical either way.
+func ComposeWith(d *netlist.Design, g *compat.Graph, plan *scan.Plan, subgraphs [][]int, opts Options) (*Result, error) {
 	start := time.Now()
 	if opts.MaxSubgraphNodes <= 0 {
 		opts.MaxSubgraphNodes = 30
@@ -40,8 +49,10 @@ func Compose(d *netlist.Design, g *compat.Graph, plan *scan.Plan, opts Options) 
 	}
 
 	ri := newRegIndex(d)
-	subgraphs := partition.Decompose(len(g.Regs), g.Adj,
-		func(n int) geom.Point { return g.Regs[n].ClockPos }, opts.MaxSubgraphNodes)
+	if subgraphs == nil {
+		subgraphs = partition.Decompose(len(g.Regs), g.Adj,
+			func(n int) geom.Point { return g.Regs[n].ClockPos }, opts.MaxSubgraphNodes)
+	}
 	res.Subgraphs = len(subgraphs)
 	res.Workers = resolveWorkers(opts.Workers)
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/compat"
+	"repro/internal/compatgraph"
 	"repro/internal/core"
 	"repro/internal/cts"
 	"repro/internal/geom"
@@ -68,6 +69,12 @@ type Config struct {
 	// byte-identical for any setting; it overrides Compose.Workers when
 	// non-zero.
 	Workers int
+	// Passes runs the composition stage this many times (≤1 = once, the
+	// paper's flow). Later passes re-time the design and recompose over the
+	// incrementally maintained compatibility graph — the retained engine
+	// makes the extra graph updates cheap — picking up merges the first
+	// pass's subgraph bound or legalization moves made possible.
+	Passes int
 }
 
 // DefaultConfig returns the paper-default flow.
@@ -89,9 +96,15 @@ type Report struct {
 	Design string
 	Base   Metrics
 	Ours   Metrics
-	// Compose is the composition result (nil when composition found
-	// nothing).
+	// Compose is the composition result of the first pass (nil when
+	// composition found nothing).
 	Compose *core.Result
+	// ExtraPasses holds the results of composition passes beyond the first
+	// (Config.Passes > 1).
+	ExtraPasses []*core.Result
+	// CompatStats reports what the retained compatibility-graph engine did
+	// across the whole flow (delta vs rebuild decisions, re-tested edges).
+	CompatStats compatgraph.Stats
 	// SkewedMBRs and ResizedMBRs count the post-composition optimizations.
 	SkewedMBRs  int
 	ResizedMBRs int
@@ -114,13 +127,21 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	rep := &Report{Design: d.Name}
 	eng := sta.New(d)
 	eng.SetWorkers(cfg.Workers)
+	// One retained compatibility-graph engine serves every graph build of
+	// the flow: the bulk clock edits around CTS build/teardown overflow the
+	// touched log and degrade to full sweeps, while the composition passes
+	// in between are maintained by delta.
+	cg := compatgraph.New(d, plan, compatgraph.Options{
+		Compat:  cfg.Compat,
+		Workers: cfg.Workers,
+	})
 
 	// ---- Base measurement: build CTS, measure, tear down. ----
 	trees, err := buildCTS(d, cfg.CTS)
 	if err != nil {
 		return nil, fmt.Errorf("flow: base CTS: %w", err)
 	}
-	rep.Base, err = measure(d, eng, plan, cfg)
+	rep.Base, err = measure(d, eng, cg, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -143,25 +164,58 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	// is analyzed before a tree exists). ----
 	eng.SetIdealClocks(true)
 	tc0 := time.Now()
-	res, err := eng.Run()
-	if err != nil {
-		return nil, err
-	}
-	g := compat.Build(d, res, plan, cfg.Compat)
 	composeOpts := cfg.Compose
 	if cfg.Workers != 0 {
 		composeOpts.Workers = cfg.Workers
 	}
-	cres, err := core.Compose(d, g, plan, composeOpts)
-	if err != nil {
-		return nil, fmt.Errorf("flow: compose: %w", err)
+	maxNodes := composeOpts.MaxSubgraphNodes
+	if maxNodes <= 0 {
+		maxNodes = 30
 	}
-	rep.Compose = cres
-
-	newMBRs := make([]*netlist.Inst, 0, len(cres.MBRs))
-	for _, m := range cres.MBRs {
-		newMBRs = append(newMBRs, m.Inst)
+	namePrefix := composeOpts.NamePrefix
+	if namePrefix == "" {
+		namePrefix = "mbrc"
 	}
+	passes := cfg.Passes
+	if passes < 1 {
+		passes = 1
+	}
+	var newMBRs []*netlist.Inst
+	for p := 0; p < passes; p++ {
+		res, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		g := cg.Update(res)
+		if p > 0 {
+			// Keep MBR names unique across passes.
+			composeOpts.NamePrefix = fmt.Sprintf("%s_p%d", namePrefix, p+1)
+		}
+		cres, err := core.ComposeWith(d, g, plan, cg.Subgraphs(maxNodes), composeOpts)
+		if err != nil {
+			return nil, fmt.Errorf("flow: compose pass %d: %w", p+1, err)
+		}
+		if p == 0 {
+			rep.Compose = cres
+		} else {
+			rep.ExtraPasses = append(rep.ExtraPasses, cres)
+		}
+		for _, m := range cres.MBRs {
+			newMBRs = append(newMBRs, m.Inst)
+		}
+		if len(cres.MBRs) == 0 {
+			break // converged: nothing left to merge
+		}
+	}
+	// A later pass can merge an earlier pass's MBRs away; the skew and
+	// sizing stages only want the survivors.
+	live := newMBRs[:0]
+	for _, in := range newMBRs {
+		if d.Inst(in.ID) != nil {
+			live = append(live, in)
+		}
+	}
+	newMBRs = live
 
 	if cfg.DecomposeExisting {
 		n, err := restoreSplitLeftovers(d, plan, splitGroups)
@@ -199,10 +253,11 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	if _, err := buildCTS(d, cfg.CTS); err != nil {
 		return nil, fmt.Errorf("flow: final CTS: %w", err)
 	}
-	rep.Ours, err = measure(d, eng, plan, cfg)
+	rep.Ours, err = measure(d, eng, cg, cfg)
 	if err != nil {
 		return nil, err
 	}
+	rep.CompatStats = cg.Stats()
 	rep.TotalTime = time.Since(t0)
 	return rep, nil
 }
@@ -245,12 +300,12 @@ func removeCTS(trees []*cts.Tree) {
 }
 
 // measure snapshots the Table 1 metrics of the design's current state.
-func measure(d *netlist.Design, eng *sta.Engine, plan *scan.Plan, cfg Config) (Metrics, error) {
+func measure(d *netlist.Design, eng *sta.Engine, cg *compatgraph.Engine, cfg Config) (Metrics, error) {
 	res, err := eng.Run()
 	if err != nil {
 		return Metrics{}, err
 	}
-	g := compat.Build(d, res, plan, cfg.Compat)
+	g := cg.Update(res)
 	cm := cts.Measure(d)
 	congestion := route.Estimate(d, cfg.Route)
 	wlClk, wlSig := d.Wirelength()

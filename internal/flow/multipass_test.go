@@ -1,0 +1,108 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// runMultiPass runs a Passes=3 flow at the given worker count and returns
+// the report.
+func runMultiPass(t *testing.T, workers int) *Report {
+	t.Helper()
+	b, err := bench.Generate(bench.D2(bench.ProfileOpts{Scale: 250}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cfg.Passes = 3
+	rep, err := Run(b.Design, b.Plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Design.Validate(); err != nil {
+		t.Fatalf("multi-pass flow left design invalid: %v", err)
+	}
+	return rep
+}
+
+// TestMultiPassFlow exercises Config.Passes: the retained engine serves
+// every pass, later passes never increase the register count, and the
+// canonical report stays byte-identical across worker counts.
+func TestMultiPassFlow(t *testing.T) {
+	base := runMultiPass(t, 1)
+	if base.Compose == nil {
+		t.Fatal("first pass composed nothing")
+	}
+	st := base.CompatStats
+	if st.Updates < 3 {
+		t.Fatalf("engine should have served every pass and measure: %+v", st)
+	}
+	if st.Deltas == 0 {
+		t.Fatalf("multi-pass flow never took the delta path: %+v", st)
+	}
+	prev := base.Compose.RegsAfter
+	for i, c := range base.ExtraPasses {
+		if c.RegsBefore != prev {
+			t.Fatalf("pass %d starts from %d regs, previous ended at %d", i+2, c.RegsBefore, prev)
+		}
+		if c.RegsAfter > c.RegsBefore {
+			t.Fatalf("pass %d increased register count %d -> %d", i+2, c.RegsBefore, c.RegsAfter)
+		}
+		prev = c.RegsAfter
+	}
+
+	want := base.Canonical()
+	for _, workers := range []int{2, 4} {
+		got := runMultiPass(t, workers).Canonical()
+		if got != want {
+			t.Fatalf("multi-pass report with Workers=%d differs from Workers=1:\n%s",
+				workers, firstDiff(want, got))
+		}
+	}
+}
+
+// TestSinglePassMatchesLegacyDefault pins that Passes=0 and Passes=1 are
+// the same flow (the golden files pin the actual bytes).
+func TestSinglePassMatchesLegacyDefault(t *testing.T) {
+	spec := bench.D3(bench.ProfileOpts{Scale: 300})
+	runWith := func(passes int) string {
+		b, err := bench.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Passes = passes
+		rep, err := Run(b.Design, b.Plan, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Canonical()
+	}
+	if a, b := runWith(0), runWith(1); a != b {
+		t.Fatalf("Passes=0 and Passes=1 reports differ:\n%s", firstDiff(a, b))
+	}
+}
+
+// TestReportCarriesCompatStats sanity-checks the stats surfaced on the
+// report for the default single-pass flow.
+func TestReportCarriesCompatStats(t *testing.T) {
+	b := genSmall(t, 4)
+	cfg := DefaultConfig()
+	rep, err := Run(b.Design, b.Plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.CompatStats
+	// Base measure, compose, final measure: at least three updates.
+	if st.Updates < 3 {
+		t.Fatalf("expected ≥3 engine updates, got %+v", st)
+	}
+	if st.Rebuilds == 0 {
+		t.Fatalf("CTS churn must force at least one full sweep: %+v", st)
+	}
+	if st.LastKind == "" {
+		t.Fatal("missing LastKind")
+	}
+}

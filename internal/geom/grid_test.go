@@ -1,0 +1,52 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// queryDedup collects the distinct ids QueryRect visits.
+func queryDedup(g *Grid, r Rect, n int) map[int32]bool {
+	seen := map[int32]bool{}
+	g.QueryRect(r, func(id int32) { seen[id] = true })
+	return seen
+}
+
+// TestGridFindsAllOverlaps cross-checks grid queries against a brute-force
+// overlap scan: every rectangle overlapping the query must be visited
+// (the grid may over-approximate via shared cells, never miss).
+func TestGridFindsAllOverlaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bounds := Rect{Lo: Point{X: -500, Y: -500}, Hi: Point{X: 9500, Y: 9500}}
+	for trial := 0; trial < 50; trial++ {
+		nx := 1 + rng.Intn(12)
+		ny := 1 + rng.Intn(12)
+		g := NewGrid(bounds, nx, ny)
+		n := 1 + rng.Intn(80)
+		rects := make([]Rect, n)
+		for i := range rects {
+			// Include out-of-bounds and degenerate rectangles.
+			lo := Point{X: int64(rng.Intn(12000) - 1500), Y: int64(rng.Intn(12000) - 1500)}
+			rects[i] = Rect{Lo: lo, Hi: Point{X: lo.X + int64(rng.Intn(2000)), Y: lo.Y + int64(rng.Intn(2000))}}
+			g.InsertRect(int32(i), rects[i])
+		}
+		for q := 0; q < 20; q++ {
+			lo := Point{X: int64(rng.Intn(12000) - 1500), Y: int64(rng.Intn(12000) - 1500)}
+			query := Rect{Lo: lo, Hi: Point{X: lo.X + int64(rng.Intn(3000)), Y: lo.Y + int64(rng.Intn(3000))}}
+			seen := queryDedup(g, query, n)
+			for i, r := range rects {
+				if r.Overlaps(query) && !seen[int32(i)] {
+					t.Fatalf("grid %dx%d missed rect %v for query %v", nx, ny, r, query)
+				}
+			}
+		}
+	}
+}
+
+func TestGridDegenerateBounds(t *testing.T) {
+	g := NewGrid(Rect{Lo: Point{X: 5, Y: 5}, Hi: Point{X: 5, Y: 5}}, 8, 8)
+	g.InsertRect(1, Rect{Lo: Point{X: 0, Y: 0}, Hi: Point{X: 10, Y: 10}})
+	if got := queryDedup(g, Rect{Lo: Point{X: 4, Y: 4}, Hi: Point{X: 6, Y: 6}}, 1); !got[1] {
+		t.Fatal("degenerate-bounds grid lost the inserted rect")
+	}
+}

@@ -19,6 +19,10 @@ func (d *Design) newInst(name string, kind InstKind, pos geom.Point) (*Inst, err
 	}
 	d.insts = append(d.insts, in)
 	d.nameToInst[name] = in.ID
+	// Creation is an edit too: without this, an instance that is added but
+	// never connected (or whose creation-time parameters matter, like the
+	// position) would be invisible to TouchedSince consumers.
+	d.noteTouch(in.ID)
 	return in, nil
 }
 

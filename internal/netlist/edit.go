@@ -39,6 +39,41 @@ func (d *Design) MoveInst(in *Inst, pos geom.Point) {
 	d.noteTouch(in.ID)
 }
 
+// SetFixed sets the placement-fixed flag through the edit log: the flag
+// feeds composability analysis, so flipping it must dirty the instance.
+func (d *Design) SetFixed(in *Inst, v bool) {
+	if in.Fixed != v {
+		in.Fixed = v
+		d.noteTouch(in.ID)
+	}
+}
+
+// SetSizeOnly sets the size-only optimization restriction; epoch-logged
+// like SetFixed.
+func (d *Design) SetSizeOnly(in *Inst, v bool) {
+	if in.SizeOnly != v {
+		in.SizeOnly = v
+		d.noteTouch(in.ID)
+	}
+}
+
+// SetGateGroup assigns the clock-gating group; epoch-logged (the group is
+// part of functional compatibility).
+func (d *Design) SetGateGroup(in *Inst, g int) {
+	if in.GateGroup != g {
+		in.GateGroup = g
+		d.noteTouch(in.ID)
+	}
+}
+
+// SetScanPartition assigns the scan partition; epoch-logged.
+func (d *Design) SetScanPartition(in *Inst, p int) {
+	if in.ScanPartition != p {
+		in.ScanPartition = p
+		d.noteTouch(in.ID)
+	}
+}
+
 // BitAssignment records where one original register bit landed in a merged
 // MBR.
 type BitAssignment struct {

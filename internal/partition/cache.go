@@ -1,0 +1,113 @@
+package partition
+
+import (
+	"encoding/binary"
+
+	"repro/internal/geom"
+)
+
+// CacheStats counts per-call reuse of the decomposition cache.
+type CacheStats struct {
+	// Components is the number of connected components in the last call.
+	Components int
+	// Reused is how many of them hit the memo (identical members and
+	// positions as a previously split component).
+	Reused int
+	// Computed is how many were split fresh (dirty components).
+	Computed int
+}
+
+// Cache memoizes GeometricSplit results per connected component across
+// repeated decompositions of an evolving graph. Node indexes shift as nodes
+// come and go, so components are keyed by a stable per-node key (the
+// compatibility engine uses instance IDs) plus the exact positions and node
+// bound; a hit replays the previous split remapped to the current indexes.
+// The output is identical to Decompose on the same inputs — GeometricSplit
+// is a pure function of the member order and positions, both captured by
+// the key — only the work for unchanged components is skipped.
+type Cache struct {
+	memo  map[string][][]int // ordinal-encoded split per component key
+	stats CacheStats
+}
+
+// NewCache returns an empty decomposition cache.
+func NewCache() *Cache {
+	return &Cache{memo: map[string][][]int{}}
+}
+
+// Stats reports reuse counters for the most recent Decompose call.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Decompose is equivalent to the package-level Decompose but reuses cached
+// splits for components whose stable keys and positions are unchanged.
+// key(node) must be stable across calls (node indexes are not) and must
+// preserve the relative order of surviving nodes, which instance IDs do.
+func (c *Cache) Decompose(n int, adj [][]int, pos func(int) geom.Point, maxNodes int, key func(int) int64) [][]int {
+	comps := ConnectedComponents(n, adj)
+	next := make(map[string][][]int, len(comps))
+	c.stats = CacheStats{Components: len(comps)}
+	var out [][]int
+	for _, comp := range comps {
+		ck := componentKey(comp, pos, maxNodes, key)
+		ordinals, ok := c.memo[ck]
+		if !ok {
+			ordinals, ok = next[ck]
+		}
+		if ok {
+			c.stats.Reused++
+		} else {
+			split := GeometricSplit(comp, pos, maxNodes)
+			ordinals = toOrdinals(comp, split)
+			c.stats.Computed++
+		}
+		next[ck] = ordinals
+		for _, part := range ordinals {
+			nodes := make([]int, len(part))
+			for i, o := range part {
+				nodes[i] = comp[o]
+			}
+			out = append(out, nodes)
+		}
+	}
+	// Entries not touched this round are stale (their component changed or
+	// vanished); dropping them bounds the memo by the live component count.
+	c.memo = next
+	return out
+}
+
+// componentKey encodes everything GeometricSplit depends on: the node
+// bound, and per member (in component order) its stable key and position.
+// Full encoding, not a hash — equal keys imply equal split inputs.
+func componentKey(comp []int, pos func(int) geom.Point, maxNodes int, key func(int) int64) string {
+	buf := make([]byte, 0, 8+24*len(comp))
+	var w [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(w[:], uint64(v))
+		buf = append(buf, w[:]...)
+	}
+	put(int64(maxNodes))
+	for _, nd := range comp {
+		p := pos(nd)
+		put(key(nd))
+		put(p.X)
+		put(p.Y)
+	}
+	return string(buf)
+}
+
+// toOrdinals rewrites a split over node indexes as positions within the
+// component member list, the index-independent form stored in the memo.
+func toOrdinals(comp []int, split [][]int) [][]int {
+	ord := make(map[int]int, len(comp))
+	for i, nd := range comp {
+		ord[nd] = i
+	}
+	out := make([][]int, len(split))
+	for i, part := range split {
+		out[i] = make([]int, len(part))
+		for j, nd := range part {
+			out[i][j] = ord[nd]
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// randGraph builds a random undirected graph with positions.
+func randGraph(rng *rand.Rand, n int) ([][]int, []geom.Point) {
+	adj := make([][]int, n)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: int64(rng.Intn(10000)), Y: int64(rng.Intn(10000))}
+	}
+	// Sparse (avg degree < 1) so the graph has many small components —
+	// the regime where per-component caching pays off.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3*n) == 0 {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	return adj, pts
+}
+
+// TestCacheMatchesDecompose mutates a graph over rounds and checks the
+// cached decomposition equals the from-scratch one every time, with reuse
+// kicking in for untouched components.
+func TestCacheMatchesDecompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(60)
+		adj, pts := randGraph(rng, n)
+		// Stable keys distinct from indexes (simulate instance IDs).
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(1000 + i*3)
+		}
+		pos := func(i int) geom.Point { return pts[i] }
+		key := func(i int) int64 { return keys[i] }
+		maxNodes := 1 + rng.Intn(12)
+
+		c := NewCache()
+		reusedEver := false
+		for round := 0; round < 6; round++ {
+			want := Decompose(n, adj, pos, maxNodes)
+			got := c.Decompose(n, adj, pos, maxNodes, key)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d round %d: cache split diverged\n got %v\nwant %v",
+					trial, round, got, want)
+			}
+			st := c.Stats()
+			if st.Reused+st.Computed != st.Components {
+				t.Fatalf("stats don't add up: %+v", st)
+			}
+			if round > 0 && st.Reused > 0 {
+				reusedEver = true
+			}
+			// Mutate: move a few nodes (dirties their components only).
+			for k := 0; k < 3; k++ {
+				pts[rng.Intn(n)] = geom.Point{X: int64(rng.Intn(10000)), Y: int64(rng.Intn(10000))}
+			}
+		}
+		if n > 30 && !reusedEver {
+			t.Fatalf("trial %d: cache never reused a component across rounds", trial)
+		}
+	}
+}
+
+// TestCacheSurvivesIndexShift re-labels nodes (as the compat engine does
+// when registers are added/removed) and verifies stable keys still hit.
+func TestCacheSurvivesIndexShift(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 1000, Y: 1000}}
+	adj := [][]int{{1}, {0}, {}}
+	keys := []int64{100, 200, 300}
+	c := NewCache()
+	c.Decompose(3, adj, func(i int) geom.Point { return pts[i] }, 8,
+		func(i int) int64 { return keys[i] })
+
+	// Node 0 disappears; survivors shift down one index.
+	pts2 := pts[1:]
+	adj2 := [][]int{{}, {}}
+	keys2 := keys[1:]
+	got := c.Decompose(2, adj2, func(i int) geom.Point { return pts2[i] }, 8,
+		func(i int) int64 { return keys2[i] })
+	want := Decompose(2, adj2, func(i int) geom.Point { return pts2[i] }, 8)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("shifted decompose diverged: got %v want %v", got, want)
+	}
+	// Key 300's singleton component is unchanged and must hit despite the
+	// index shift; key 200 was previously inside a two-node component.
+	if st := c.Stats(); st.Reused != 1 || st.Computed != 1 {
+		t.Fatalf("expected exactly the unchanged singleton to hit: %+v", st)
+	}
+}
