@@ -23,15 +23,18 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/compat"
 	"repro/internal/compatgraph"
 	"repro/internal/core"
+	"repro/internal/cts"
 	"repro/internal/flow"
 	"repro/internal/geom"
 	"repro/internal/netlist"
 	"repro/internal/paperex"
+	"repro/internal/place"
 	"repro/internal/sta"
 )
 
@@ -497,4 +500,89 @@ func BenchmarkComposeOnly_D1(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCTS_FullVsDelta compares the two ways of bringing the clock
+// trees back in sync after a small placement ECO (~1% of the registers
+// move): a batch rebuild (per-root cts.Build + global legalization, the
+// pre-retained flow) against the retained engine's delta Update. Twin
+// designs receive identical edits; the oracle tests in internal/cts prove
+// the two paths produce identical trees, so this measures cost only.
+func BenchmarkCTS_FullVsDelta(b *testing.B) {
+	spec := bench.D2(bench.ProfileOpts{Scale: 6 * benchScale})
+	genA, err := bench.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	genB, err := bench.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dA, dB := genA.Design, genB.Design
+
+	eng := cts.NewEngine(dA, cts.DefaultOptions())
+	if err := eng.Attach(); err != nil {
+		b.Fatal(err)
+	}
+
+	buildFull := func(d *netlist.Design) []*cts.Tree {
+		var roots []*netlist.Net
+		d.Nets(func(n *netlist.Net) {
+			if n.IsClock && len(n.Sinks) > 0 {
+				roots = append(roots, n)
+			}
+		})
+		var trees []*cts.Tree
+		var bufs []*netlist.Inst
+		for _, n := range roots {
+			t, err := cts.Build(d, n, cts.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			trees = append(trees, t)
+			bufs = append(bufs, t.Buffers...)
+		}
+		place.LegalizeIncremental(d, bufs)
+		return trees
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	var tDelta, tFull time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regsA, regsB := dA.Registers(), dB.Registers()
+		edits := len(regsA)/100 + 1 // ≤1% of the registers move
+		for k := 0; k < edits; k++ {
+			j := rng.Intn(len(regsA))
+			dx := int64(rng.Intn(40001) - 20000)
+			dy := int64(rng.Intn(40001) - 20000)
+			p := regsA[j].Pos
+			p.X += dx
+			p.Y += dy
+			dA.MoveInst(regsA[j], p)
+			dB.MoveInst(regsB[j], p)
+		}
+
+		t0 := time.Now()
+		if err := eng.Update(); err != nil {
+			b.Fatal(err)
+		}
+		tDelta += time.Since(t0)
+
+		t0 = time.Now()
+		trees := buildFull(dB)
+		tFull += time.Since(t0)
+		for j := len(trees) - 1; j >= 0; j-- {
+			trees[j].Remove()
+		}
+	}
+	b.StopTimer()
+	st := eng.Stats()
+	if st.Deltas != b.N {
+		b.Fatalf("delta path not exercised: %+v", st)
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(tDelta.Nanoseconds())/n, "delta_ns/update")
+	b.ReportMetric(float64(tFull.Nanoseconds())/n, "full_ns/update")
+	b.ReportMetric(float64(tFull)/float64(tDelta), "speedup_x")
 }

@@ -5,7 +5,9 @@
 // -passes N additionally runs N composition passes on the in-memory copy
 // and reports, per pass, what the retained incremental compatibility-graph
 // engine did (node/edge counts, connected components, delta-vs-rebuild
-// decision, edges re-tested).
+// decision, edges re-tested) and what the retained clock-tree engine did
+// to fold the merges into its live trees (re-clustered leaves, repaired
+// ancestors, buffer churn, fallback reason).
 //
 //	mbrstats -profile D1
 //	mbrstats -profile D1 -passes 3
@@ -199,9 +201,14 @@ func main() {
 }
 
 // runPasses drives composition passes on the in-memory design, reporting
-// what the retained compatibility-graph engine does on each one.
+// what the retained compatibility-graph and clock-tree engines do on each
+// one.
 func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgraph.Engine, passes int) {
-	fmt.Printf("\ncomposition passes (incremental compat engine):\n")
+	ct := cts.NewEngine(d, cts.DefaultOptions())
+	if err := ct.Attach(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\ncomposition passes (retained compat + clock-tree engines):\n")
 	for p := 1; p <= passes; p++ {
 		res, err := eng.Run()
 		if err != nil {
@@ -220,12 +227,24 @@ func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgr
 			cs.LastRejectsByTest[2], cs.LastRejectsByTest[3])
 		opts := core.DefaultOptions()
 		opts.NamePrefix = fmt.Sprintf("mbrp%d", p)
+		opts.ReleaseClocks = ct.ReleaseClocks
 		cres, err := core.ComposeWith(d, g, plan, subs, opts)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("  composed: %d MBRs, registers %d -> %d\n",
 			len(cres.MBRs), cres.RegsBefore, cres.RegsAfter)
+		if err := ct.Update(); err != nil {
+			fatal(err)
+		}
+		ts := ct.Stats()
+		line := fmt.Sprintf("  cts %s: %d leaves re-clustered, %d ancestors repaired, %d clusters reused, buffers +%d/-%d",
+			ts.LastKind, ts.LastReclusteredLeaves, ts.LastRepairedAncestors,
+			ts.LastReusedClusters, ts.LastBuffersAdded, ts.LastBuffersRemoved)
+		if ts.LastFallbackReason != "" {
+			line += fmt.Sprintf(" (fallback: %s)", ts.LastFallbackReason)
+		}
+		fmt.Println(line)
 		if len(cres.MBRs) == 0 {
 			fmt.Printf("  converged after %d passes (delta/rebuild decisions: %d/%d)\n",
 				p, cs.Deltas, cs.Rebuilds)
@@ -233,8 +252,10 @@ func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgr
 		}
 	}
 	cs := cg.Stats()
-	fmt.Printf("  totals: %d updates, %d delta, %d full sweeps\n",
-		cs.Updates, cs.Deltas, cs.Rebuilds)
+	ts := ct.Stats()
+	fmt.Printf("  totals: compat %d updates (%d delta, %d full); cts %d updates (%d delta, %d rebuilds, %d clean)\n",
+		cs.Updates, cs.Deltas, cs.Rebuilds,
+		ts.Updates, ts.Deltas, ts.Rebuilds, ts.Cleans)
 }
 
 func fatal(err error) {

@@ -79,7 +79,10 @@ type RegInfo struct {
 // instance itself is edited — connectivity edits note the instance in the
 // design's touched log, and a scan plan never reassigns chain identity,
 // partition or ordering of a surviving register — so cached signatures of
-// untouched registers stay exact across flow passes.
+// untouched registers stay exact across flow passes. Clock is the
+// root-resolved clock net (Design.ClockRootNet): two sinks of the same
+// distribution root stay clock-compatible even while a retained clock tree
+// parents them under different leaf buffers.
 type StaticSig struct {
 	Class     lib.FuncClass
 	GateGroup int
@@ -99,7 +102,7 @@ func SigOf(d *netlist.Design, plan *scan.Plan, in *netlist.Inst) StaticSig {
 	s := StaticSig{
 		Class:     in.RegCell.Class,
 		GateGroup: in.GateGroup,
-		Clock:     d.ClockNet(in),
+		Clock:     d.ClockRootNet(d.ClockNet(in)),
 		Reset:     d.ControlNet(in, netlist.PinReset),
 		Enable:    d.ControlNet(in, netlist.PinEnable),
 		ScanEn:    d.ControlNet(in, netlist.PinScanEnable),

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"repro/internal/compat"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/netlist"
 	"repro/internal/partition"
@@ -74,6 +75,11 @@ type Stats struct {
 	Updates  int
 	Rebuilds int // full pairwise sweeps (any non-delta kind)
 	Deltas   int
+	// TouchedOverflows counts the rebuilds forced by an overflowed
+	// touched ring (KindOverflow) — the failure mode edit-class scoping
+	// exists to prevent; bulk edits in other classes (clock-tree
+	// maintenance) must never show up here.
+	TouchedOverflows int
 
 	LastKind          UpdateKind
 	LastNodes         int
@@ -141,8 +147,24 @@ func New(d *netlist.Design, plan *scan.Plan, opts Options) *Engine {
 // Invalidate forces the next Update to take the full-sweep path.
 func (e *Engine) Invalidate() { e.valid = false }
 
+// SetWorkers bounds the fan-out of pairwise re-tests (engine.Retained
+// convention: results identical for any value, 1 forces sequential).
+func (e *Engine) SetWorkers(n int) { e.opts.Workers = n }
+
 // Stats returns the accumulated counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// Summary reports the unified retained-engine counters (engine.Retained).
+func (e *Engine) Summary() engine.Summary {
+	return engine.Summary{
+		Updates:  e.stats.Updates,
+		Deltas:   e.stats.Deltas,
+		Rebuilds: e.stats.Rebuilds,
+		LastKind: string(e.stats.LastKind),
+	}
+}
+
+var _ engine.Retained = (*Engine)(nil)
 
 // Graph returns the graph materialized by the last Update (nil before the
 // first one).
@@ -235,6 +257,9 @@ func (e *Engine) Update(res *sta.Results) *compat.Graph {
 	st := &e.stats
 	st.Updates++
 	st.LastKind = kind
+	if kind == KindOverflow {
+		st.TouchedOverflows++
+	}
 	st.LastNodesAdded = added
 	st.LastNodesRemoved = removed
 	st.LastNodesDirty = len(dirtyOrd)

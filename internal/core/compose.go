@@ -84,7 +84,7 @@ func ComposeWith(d *netlist.Design, g *compat.Graph, plan *scan.Plan, subgraphs 
 
 	var newInsts []*netlist.Inst
 	for idx, c := range selected {
-		m, err := commit(d, g, plan, c, fmt.Sprintf("%s_%d", opts.NamePrefix, idx))
+		m, err := commit(d, g, plan, c, fmt.Sprintf("%s_%d", opts.NamePrefix, idx), opts.ReleaseClocks)
 		if err != nil {
 			return nil, err
 		}
@@ -225,6 +225,7 @@ func commit(
 	plan *scan.Plan,
 	c candidate,
 	name string,
+	release func([]*netlist.Inst),
 ) (*ComposedMBR, error) {
 	insts := make([]*netlist.Inst, len(c.nodes))
 	minRes := math.Inf(1)
@@ -270,6 +271,9 @@ func commit(
 	memberIDs := make([]netlist.InstID, len(ordered))
 	for i, in := range ordered {
 		memberIDs[i] = in.ID
+	}
+	if release != nil {
+		release(ordered)
 	}
 	mr, err := d.MergeRegisters(ordered, cell, name, pos)
 	if err != nil {

@@ -89,6 +89,13 @@ type Options struct {
 	// sequential path. The result is byte-identical for any value — see
 	// parallel.go.
 	Workers int
+	// ReleaseClocks, when set, is called with each group's member registers
+	// immediately before they are merged. The retained clock-tree engine
+	// hooks in here to move member clock pins from their current tree leaf
+	// nets back to the domain root, so the merge's control-net agreement
+	// check sees one common clock net and the MBR lands on the root (the
+	// next tree update re-parents it under a leaf).
+	ReleaseClocks func(regs []*netlist.Inst)
 }
 
 // DefaultOptions returns the paper's configuration.

@@ -7,6 +7,13 @@
 // buffer count after CTS (Table 1, columns "Clk Bufs" and "Clk Cap"); any
 // capacity-limited clustering CTS translates sink-count/sink-cap reduction
 // into those metrics the same way, which is all the reproduction needs.
+//
+// Two construction APIs share one clustering plan (plan.go): the batch
+// Build/Tree.Remove pair tears a tree down and rebuilds it from scratch,
+// and the retained Engine (engine.go) keeps trees alive across design
+// edits, repairing only the clusters whose membership changed. Build is
+// the Engine's fallback and its equality oracle: for the same sink set
+// both produce identical trees.
 package cts
 
 import (
@@ -57,11 +64,23 @@ type Tree struct {
 	rootNet    *netlist.Net
 }
 
-// sink is one clock load to be driven.
-type sink struct {
-	pin *netlist.Pin
-	pos geom.Point
-	cap float64
+// collectSinks snapshots the net's current sinks in canonical (ascending
+// pin ID) order. Pin IDs are issued in creation order and the flow only
+// ever appends new sinks, so for a flow-built design this equals the net's
+// own sink order; sorting makes the tree — including the per-cluster
+// floating-point capacitance sums — independent of connection history,
+// which is what lets the retained Engine reproduce Build's result exactly.
+func collectSinks(d *netlist.Design, rootNet *netlist.Net) []planSink {
+	ids := append([]netlist.PinID(nil), rootNet.Sinks...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sinks := make([]planSink, len(ids))
+	for i, pid := range ids {
+		p := d.Pin(pid)
+		sinks[i] = planSink{
+			pin: p, child: -1, pos: d.PinPos(p), cap: p.Cap, ord: int64(pid),
+		}
+	}
+	return sinks
 }
 
 // Build constructs a buffered tree for the given root clock net: every
@@ -79,109 +98,95 @@ func Build(d *netlist.Design, rootNet *netlist.Net, opts Options) (*Tree, error)
 	if !rootNet.IsClock {
 		return nil, fmt.Errorf("cts: net %q is not a clock net", rootNet.Name)
 	}
-	var sinks []sink
-	for _, pid := range append([]netlist.PinID(nil), rootNet.Sinks...) {
-		p := d.Pin(pid)
-		sinks = append(sinks, sink{pin: p, pos: d.PinPos(p), cap: p.Cap})
-	}
+	sinks := collectSinks(d, rootNet)
 	t := &Tree{d: d, rootNet: rootNet}
 	if len(sinks) == 0 {
 		return t, nil
+	}
+	p, err := planTree(sinks, opts, 1)
+	if err != nil {
+		return nil, err
 	}
 	for _, s := range sinks {
 		d.Disconnect(s.pin)
 		t.movedSinks = append(t.movedSinks, s.pin)
 	}
-	top, levels, err := t.buildLevel(sinks, opts, 0)
+	nodes, err := realizeFresh(d, rootNet, p, opts, buildNamer(rootNet))
 	if err != nil {
 		return nil, err
 	}
-	t.Levels = levels
-	t.Root = top
+	for _, lvl := range nodes {
+		for _, nd := range lvl {
+			t.Buffers = append(t.Buffers, nd.buf)
+			t.nets = append(t.nets, nd.net)
+		}
+	}
+	t.Levels = len(nodes)
+	t.Root = nodes[len(nodes)-1][0].buf
 	// Connect the root buffer's input to the original clock net.
-	d.Connect(inPin(d, top), rootNet)
+	d.Connect(inPin(d, t.Root), rootNet)
 	return t, nil
 }
 
-// buildLevel clusters sinks, inserts one buffer per cluster, and recurses
-// on the buffer inputs until a single buffer remains. Returns the top
-// buffer.
-func (t *Tree) buildLevel(sinks []sink, opts Options, level int) (*netlist.Inst, int, error) {
-	if level > 64 {
-		return nil, 0, fmt.Errorf("cts: runaway recursion")
+// node is one realized cluster: a live buffer, the net it drives, and the
+// net's member pins in canonical connect order.
+type node struct {
+	buf *netlist.Inst
+	net *netlist.Net
+	// memberPins is net's sink list in the order the plan connected it —
+	// the invariant the Engine maintains so per-net capacitance sums are
+	// bit-identical to a fresh Build.
+	memberPins []netlist.PinID
+	centroid   geom.Point
+}
+
+// namer produces the buffer and net names for freshly realized clusters.
+type namer func(level, ci, serial int) (bufName, netName string)
+
+// buildNamer reproduces Build's historical naming scheme.
+func buildNamer(rootNet *netlist.Net) namer {
+	return func(level, ci, serial int) (string, string) {
+		return fmt.Sprintf("%s_ctsbuf_L%d_%d_%d", rootNet.Name, level, ci, serial),
+			fmt.Sprintf("%s_cts_L%d_%d", rootNet.Name, level, ci)
 	}
-	d := t.d
-	clusters := cluster(sinks, opts)
-	next := make([]sink, 0, len(clusters))
-	for ci, cl := range clusters {
-		centroid := centroidOf(cl)
-		name := fmt.Sprintf("%s_ctsbuf_L%d_%d_%d", t.rootNet.Name, level, ci, len(t.Buffers))
-		buf, err := d.AddClockBuf(name, opts.Buffer, centroid)
-		if err != nil {
-			return nil, 0, err
+}
+
+// realizeFresh materializes a plan with all-new buffers and nets, level by
+// level, in the exact order Build's original recursion created them.
+// Member pins must already be detached from the root net.
+func realizeFresh(d *netlist.Design, rootNet *netlist.Net, p *treePlan, opts Options, name namer) ([][]*node, error) {
+	var nodes [][]*node
+	serial := 0
+	for l, level := range p.levels {
+		row := make([]*node, len(level))
+		for ci := range level {
+			cl := &level[ci]
+			bufName, netName := name(l, ci, serial)
+			buf, err := d.AddClockBuf(bufName, opts.Buffer, cl.centroid)
+			if err != nil {
+				return nil, err
+			}
+			serial++
+			net := d.AddNet(netName, true)
+			d.Connect(d.OutPin(buf), net)
+			nd := &node{buf: buf, net: net, centroid: cl.centroid}
+			for _, m := range cl.members {
+				pin := m.pin
+				if pin == nil {
+					pin = inPin(d, nodes[l-1][m.child].buf)
+				}
+				d.Connect(pin, net)
+				nd.memberPins = append(nd.memberPins, pin.ID)
+			}
+			row[ci] = nd
 		}
-		t.Buffers = append(t.Buffers, buf)
-		net := d.AddNet(fmt.Sprintf("%s_cts_L%d_%d", t.rootNet.Name, level, ci), true)
-		t.nets = append(t.nets, net)
-		d.Connect(d.OutPin(buf), net)
-		for _, s := range cl {
-			d.Connect(s.pin, net)
-		}
-		next = append(next, sink{pin: inPin(d, buf), pos: centroid, cap: opts.Buffer.InCap})
+		nodes = append(nodes, row)
 	}
-	if len(next) == 1 {
-		return d.Inst(next[0].pin.Inst), level + 1, nil
-	}
-	return t.buildLevel(next, opts, level+1)
+	return nodes, nil
 }
 
 func inPin(d *netlist.Design, in *netlist.Inst) *netlist.Pin {
 	return d.FindPin(in, netlist.PinData, 0)
-}
-
-func centroidOf(cl []sink) geom.Point {
-	var sx, sy int64
-	for _, s := range cl {
-		sx += s.pos.X
-		sy += s.pos.Y
-	}
-	n := int64(len(cl))
-	return geom.Point{X: sx / n, Y: sy / n}
-}
-
-// cluster recursively bisects the sinks along the longer bounding-box axis
-// until each cluster satisfies the fanout and capacitance limits.
-func cluster(sinks []sink, opts Options) [][]sink {
-	totalCap := 0.0
-	for _, s := range sinks {
-		totalCap += s.cap
-	}
-	if len(sinks) <= opts.MaxFanout && totalCap <= opts.MaxCap {
-		return [][]sink{sinks}
-	}
-	pts := make([]geom.Point, len(sinks))
-	for i, s := range sinks {
-		pts[i] = s.pos
-	}
-	bb := geom.BoundingBox(pts)
-	horizontal := bb.W() >= bb.H()
-	sorted := append([]sink(nil), sinks...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if horizontal {
-			if sorted[i].pos.X != sorted[j].pos.X {
-				return sorted[i].pos.X < sorted[j].pos.X
-			}
-			return sorted[i].pos.Y < sorted[j].pos.Y
-		}
-		if sorted[i].pos.Y != sorted[j].pos.Y {
-			return sorted[i].pos.Y < sorted[j].pos.Y
-		}
-		return sorted[i].pos.X < sorted[j].pos.X
-	})
-	mid := len(sorted) / 2
-	left := cluster(sorted[:mid], opts)
-	right := cluster(sorted[mid:], opts)
-	return append(left, right...)
 }
 
 // Remove deletes every buffer and net the build created and reattaches the

@@ -1,18 +1,28 @@
 // Package flow drives the paper's implementation flow (Fig. 4) on a placed
 // design: measure the Base state (CTS built, timing, congestion,
 // wirelength), then incrementally run MBR composition → useful skew → MBR
-// sizing → CTS rebuild, and measure again. Its Report holds one Table 1
+// sizing → CTS update, and measure again. Its Report holds one Table 1
 // row pair (Base / Ours).
+//
+// Three retained engines carry state across the whole run behind the
+// shared engine.Retained contract: the incremental STA engine, the
+// compatibility-graph engine, and the clock-tree engine. The clock tree is
+// attached once for the Base measurement and then delta-maintained — never
+// torn down and rebuilt between measurements. Its edits are scoped to the
+// netlist's CTS edit class, so tree churn cannot evict the flow-class
+// touched log that the STA and compatibility deltas depend on.
 package flow
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/compat"
 	"repro/internal/compatgraph"
 	"repro/internal/core"
 	"repro/internal/cts"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/lib"
 	"repro/internal/netlist"
@@ -39,12 +49,43 @@ type Metrics struct {
 	WLSigMM          float64
 }
 
+// STAConfig groups the retained timing engine's options.
+type STAConfig struct {
+	// Workers bounds the levelized arrival/required sweep pool
+	// (0 = inherit Config.Workers).
+	Workers int
+}
+
+// CompatConfig groups the retained compatibility-graph engine's options.
+type CompatConfig struct {
+	// Rules are the pairwise compatibility tests' options (§3.1 rules,
+	// slack thresholds, region slack).
+	Rules compat.Options
+	// Workers bounds the pairwise re-test fan-out (0 = inherit
+	// Config.Workers).
+	Workers int
+}
+
+// CTSConfig groups the retained clock-tree engine's options.
+type CTSConfig struct {
+	// Tree holds the clustering limits and buffer model the trees are
+	// built with.
+	Tree cts.Options
+	// Workers bounds the clustering-plan fan-out (0 = inherit
+	// Config.Workers).
+	Workers int
+}
+
 // Config selects the flow options.
 type Config struct {
 	Compose core.Options
-	Compat  compat.Options
-	CTS     cts.Options
-	Route   route.Options
+	// STA, Compat and CTS configure the three retained engines. Each
+	// group's Workers overrides the global Config.Workers for that engine
+	// only.
+	STA    STAConfig
+	Compat CompatConfig
+	CTS    CTSConfig
+	Route  route.Options
 	// UsefulSkew applies per-MBR useful clock skew after composition
 	// (Fig. 4).
 	UsefulSkew bool
@@ -75,14 +116,19 @@ type Config struct {
 	// makes the extra graph updates cheap — picking up merges the first
 	// pass's subgraph bound or legalization moves made possible.
 	Passes int
+	// TouchedLogCap overrides the netlist's per-edit-class touched-ring
+	// capacity for the duration of the run (0 = leave the design's current
+	// capacity). Larger rings keep the engines on their delta paths across
+	// bigger edit bursts at a little memory cost.
+	TouchedLogCap int
 }
 
 // DefaultConfig returns the paper-default flow.
 func DefaultConfig() Config {
 	return Config{
 		Compose:            core.DefaultOptions(),
-		Compat:             compat.DefaultOptions(),
-		CTS:                cts.DefaultOptions(),
+		Compat:             CompatConfig{Rules: compat.DefaultOptions()},
+		CTS:                CTSConfig{Tree: cts.DefaultOptions()},
 		Route:              route.DefaultOptions(),
 		UsefulSkew:         true,
 		UsefulSkewWindowPS: 150,
@@ -105,6 +151,13 @@ type Report struct {
 	// CompatStats reports what the retained compatibility-graph engine did
 	// across the whole flow (delta vs rebuild decisions, re-tested edges).
 	CompatStats compatgraph.Stats
+	// STAStats and CTSStats are the same accounting for the retained
+	// timing and clock-tree engines.
+	STAStats sta.RunStats
+	CTSStats cts.Stats
+	// Engines is the uniform engine.Retained contract view of all three
+	// retained engines, keyed "sta", "compat", "cts".
+	Engines map[string]engine.Summary
 	// SkewedMBRs and ResizedMBRs count the post-composition optimizations.
 	SkewedMBRs  int
 	ResizedMBRs int
@@ -120,32 +173,76 @@ type Report struct {
 	TotalTime time.Duration
 }
 
+// engines bundles the flow's three retained engines. Each satisfies the
+// engine.Retained contract; the flow drives them through this one struct so
+// every stage sees the same instances and their stats survive to the
+// Report.
+type engines struct {
+	sta *sta.Engine
+	cg  *compatgraph.Engine
+	cts *cts.Engine
+}
+
+// pickWorkers resolves a per-engine worker override against the global
+// setting (group wins when non-zero).
+func pickWorkers(group, global int) int {
+	if group != 0 {
+		return group
+	}
+	return global
+}
+
+func newEngines(d *netlist.Design, plan *scan.Plan, cfg Config) *engines {
+	e := &engines{
+		sta: sta.New(d),
+		cg: compatgraph.New(d, plan, compatgraph.Options{
+			Compat:  cfg.Compat.Rules,
+			Workers: pickWorkers(cfg.Compat.Workers, cfg.Workers),
+		}),
+		cts: cts.NewEngine(d, cfg.CTS.Tree),
+	}
+	e.sta.SetWorkers(pickWorkers(cfg.STA.Workers, cfg.Workers))
+	cw := pickWorkers(cfg.CTS.Workers, cfg.Workers)
+	if cw == 0 {
+		cw = runtime.GOMAXPROCS(0)
+	}
+	e.cts.SetWorkers(cw)
+	return e
+}
+
+// summaries is the uniform contract view of the three engines.
+func (e *engines) summaries() map[string]engine.Summary {
+	return map[string]engine.Summary{
+		"sta":    e.sta.Summary(),
+		"compat": e.cg.Summary(),
+		"cts":    e.cts.Summary(),
+	}
+}
+
 // Run executes the flow on the design in place. The design must be placed
 // and legal (bench.Generate output qualifies).
 func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	t0 := time.Now()
 	rep := &Report{Design: d.Name}
-	eng := sta.New(d)
-	eng.SetWorkers(cfg.Workers)
-	// One retained compatibility-graph engine serves every graph build of
-	// the flow: the bulk clock edits around CTS build/teardown overflow the
-	// touched log and degrade to full sweeps, while the composition passes
-	// in between are maintained by delta.
-	cg := compatgraph.New(d, plan, compatgraph.Options{
-		Compat:  cfg.Compat,
-		Workers: cfg.Workers,
-	})
+	if cfg.TouchedLogCap > 0 {
+		prev := d.TouchedLogCap()
+		d.SetTouchedLogCap(cfg.TouchedLogCap)
+		defer d.SetTouchedLogCap(prev)
+	}
+	engs := newEngines(d, plan, cfg)
+	eng, cg := engs.sta, engs.cg
 
-	// ---- Base measurement: build CTS, measure, tear down. ----
-	trees, err := buildCTS(d, cfg.CTS)
-	if err != nil {
+	// ---- Base measurement: attach the retained clock trees and measure.
+	// The trees stay attached for the rest of the run; composition edits
+	// are folded in by delta updates. ----
+	if err := engs.cts.Attach(); err != nil {
 		return nil, fmt.Errorf("flow: base CTS: %w", err)
 	}
-	rep.Base, err = measure(d, eng, cg, cfg)
+	base, err := measure(d, engs, cfg)
 	if err != nil {
 		return nil, err
 	}
-	removeCTS(trees)
+	rep.Base = base
 
 	// ---- Optional future-work step: decompose max-width MBRs so their
 	// bits can recompose with neighbours; leftovers are restored after
@@ -168,6 +265,11 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	if cfg.Workers != 0 {
 		composeOpts.Workers = cfg.Workers
 	}
+	// Merging registers that sit under different tree leaves would fail the
+	// merge's control-net agreement check; the engine releases each group's
+	// clock pins back to the domain root just before the merge, and the
+	// next tree update re-parents the MBR under a leaf.
+	composeOpts.ReleaseClocks = engs.cts.ReleaseClocks
 	maxNodes := composeOpts.MaxSubgraphNodes
 	if maxNodes <= 0 {
 		maxNodes = 30
@@ -206,6 +308,11 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 		if len(cres.MBRs) == 0 {
 			break // converged: nothing left to merge
 		}
+		// Fold this pass's merges into the retained trees by delta, so the
+		// next pass (and the optimization stages) see a maintained tree.
+		if err := engs.cts.Update(); err != nil {
+			return nil, fmt.Errorf("flow: CTS update pass %d: %w", p+1, err)
+		}
 	}
 	// A later pass can merge an earlier pass's MBRs away; the skew and
 	// sizing stages only want the survivors.
@@ -218,7 +325,7 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	newMBRs = live
 
 	if cfg.DecomposeExisting {
-		n, err := restoreSplitLeftovers(d, plan, splitGroups)
+		n, err := restoreSplitLeftovers(d, plan, splitGroups, engs.cts.ReleaseClocks)
 		if err != nil {
 			return nil, fmt.Errorf("flow: restore: %w", err)
 		}
@@ -249,63 +356,32 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	rep.ComposeTime = time.Since(tc0)
 	eng.SetIdealClocks(false)
 
-	// ---- Rebuild CTS and measure "Ours". ----
-	if _, err := buildCTS(d, cfg.CTS); err != nil {
+	// ---- Sync the retained trees and measure "Ours". Measurement folds
+	// floats over nets in ID order, so the trees are canonicalized — left
+	// exactly as a batch build of the final design would leave them — to
+	// keep reports byte-comparable with the batch flow. ----
+	if err := engs.cts.Canonicalize(); err != nil {
 		return nil, fmt.Errorf("flow: final CTS: %w", err)
 	}
-	rep.Ours, err = measure(d, eng, cg, cfg)
+	rep.Ours, err = measure(d, engs, cfg)
 	if err != nil {
 		return nil, err
 	}
 	rep.CompatStats = cg.Stats()
+	rep.STAStats = eng.Stats()
+	rep.CTSStats = engs.cts.Stats()
+	rep.Engines = engs.summaries()
 	rep.TotalTime = time.Since(t0)
 	return rep, nil
 }
 
-// buildCTS builds one tree per clock net that has sinks, gated domains
-// first (their gate pins then become sinks of the root domain's tree).
-func buildCTS(d *netlist.Design, opts cts.Options) ([]*cts.Tree, error) {
-	var roots []*netlist.Net
-	d.Nets(func(n *netlist.Net) {
-		if n.IsClock && len(n.Sinks) > 0 {
-			roots = append(roots, n)
-		}
-	})
-	// Gated nets (driven by a clock gate) before the root net, so the root
-	// tree sees the gates' final positions... in our model gates don't
-	// move, so order only matters for determinism.
-	var trees []*cts.Tree
-	var buffers []*netlist.Inst
-	for _, n := range roots {
-		t, err := cts.Build(d, n, opts)
-		if err != nil {
-			for _, b := range trees {
-				b.Remove()
-			}
-			return nil, err
-		}
-		trees = append(trees, t)
-		buffers = append(buffers, t.Buffers...)
-	}
-	// Buffers were dropped at cluster centroids; give them legal sites.
-	place.LegalizeIncremental(d, buffers)
-	return trees, nil
-}
-
-func removeCTS(trees []*cts.Tree) {
-	// Remove in reverse build order so parents release their children.
-	for i := len(trees) - 1; i >= 0; i-- {
-		trees[i].Remove()
-	}
-}
-
 // measure snapshots the Table 1 metrics of the design's current state.
-func measure(d *netlist.Design, eng *sta.Engine, cg *compatgraph.Engine, cfg Config) (Metrics, error) {
-	res, err := eng.Run()
+func measure(d *netlist.Design, engs *engines, cfg Config) (Metrics, error) {
+	res, err := engs.sta.Run()
 	if err != nil {
 		return Metrics{}, err
 	}
-	g := cg.Update(res)
+	g := engs.cg.Update(res)
 	cm := cts.Measure(d)
 	congestion := route.Estimate(d, cfg.Route)
 	wlClk, wlSig := d.Wirelength()
@@ -460,7 +536,7 @@ func decomposeMaxWidth(d *netlist.Design, plan *scan.Plan) ([]splitGroup, error)
 // worse than keeping the original MBRs. Survivors of one original MBR are
 // grouped into scan-compatible runs and merged into the smallest fitting
 // width. Returns the number of restore merges.
-func restoreSplitLeftovers(d *netlist.Design, plan *scan.Plan, groups []splitGroup) (int, error) {
+func restoreSplitLeftovers(d *netlist.Design, plan *scan.Plan, groups []splitGroup, release func([]*netlist.Inst)) (int, error) {
 	restored := 0
 	var created []*netlist.Inst
 	for gi, g := range groups {
@@ -507,6 +583,9 @@ func restoreSplitLeftovers(d *netlist.Design, plan *scan.Plan, groups []splitGro
 			ids := make([]netlist.InstID, len(run))
 			for i, in := range run {
 				ids[i] = in.ID
+			}
+			if release != nil {
+				release(run)
 			}
 			mr, err := d.MergeRegisters(run, cell, fmt.Sprintf("restored_%d_%d", gi, restored), pos)
 			if err != nil {

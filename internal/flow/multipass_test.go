@@ -85,9 +85,9 @@ func TestSinglePassMatchesLegacyDefault(t *testing.T) {
 	}
 }
 
-// TestReportCarriesCompatStats sanity-checks the stats surfaced on the
-// report for the default single-pass flow.
-func TestReportCarriesCompatStats(t *testing.T) {
+// TestReportCarriesEngineStats sanity-checks the retained-engine stats
+// surfaced on the report for the default single-pass flow.
+func TestReportCarriesEngineStats(t *testing.T) {
 	b := genSmall(t, 4)
 	cfg := DefaultConfig()
 	rep, err := Run(b.Design, b.Plan, cfg)
@@ -99,10 +99,70 @@ func TestReportCarriesCompatStats(t *testing.T) {
 	if st.Updates < 3 {
 		t.Fatalf("expected ≥3 engine updates, got %+v", st)
 	}
-	if st.Rebuilds == 0 {
-		t.Fatalf("CTS churn must force at least one full sweep: %+v", st)
+	// Clock-tree maintenance runs in its own edit class now; its churn
+	// must never evict the flow-class touched log.
+	if st.TouchedOverflows != 0 {
+		t.Fatalf("CTS churn overflowed the flow touched ring: %+v", st)
 	}
 	if st.LastKind == "" {
 		t.Fatal("missing LastKind")
+	}
+	ct := rep.CTSStats
+	if ct.Attaches == 0 {
+		t.Fatalf("retained clock-tree engine never attached: %+v", ct)
+	}
+	if rep.Compose != nil && len(rep.Compose.MBRs) > 0 && ct.Deltas == 0 {
+		t.Fatalf("composition happened but no CTS delta update ran: %+v", ct)
+	}
+	if len(rep.Engines) != 3 {
+		t.Fatalf("expected summaries for sta/compat/cts, got %v", rep.Engines)
+	}
+	for name, s := range rep.Engines {
+		if s.Updates == 0 || s.LastKind == "" {
+			t.Fatalf("engine %q reported no activity: %+v", name, s)
+		}
+	}
+}
+
+// TestFlowRingNeverOverflows is the edit-class-scoping regression test: a
+// two-pass flow — base CTS attach, two composition passes each followed by
+// a delta tree update, and a final canonicalizing rebuild — must never
+// overflow the flow-class touched ring at the default capacity. Before
+// scoping, the clock-tree churn alone blew through the ring every pass.
+// Shrinking the ring via Config.TouchedLogCap must degrade the engines to
+// their full paths (overflows observed) without changing a byte of the
+// report.
+func TestFlowRingNeverOverflows(t *testing.T) {
+	run := func(cap int) *Report {
+		b, err := bench.Generate(bench.D2(bench.ProfileOpts{Scale: 250}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Passes = 2
+		cfg.TouchedLogCap = cap
+		before := b.Design.TouchedLogCap()
+		rep, err := Run(b.Design, b.Plan, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Design.TouchedLogCap(); got != before {
+			t.Fatalf("flow must restore the design's ring capacity: %d -> %d", before, got)
+		}
+		return rep
+	}
+	def := run(0)
+	if def.CompatStats.TouchedOverflows != 0 {
+		t.Fatalf("default-capacity flow overflowed the flow ring: %+v", def.CompatStats)
+	}
+	if def.CTSStats.Deltas == 0 {
+		t.Fatalf("two-pass flow never delta-maintained the trees: %+v", def.CTSStats)
+	}
+	tiny := run(16)
+	if tiny.CompatStats.TouchedOverflows == 0 {
+		t.Fatalf("16-entry ring should overflow under composition edits: %+v", tiny.CompatStats)
+	}
+	if a, b := def.Canonical(), tiny.Canonical(); a != b {
+		t.Fatalf("ring capacity changed the report:\n%s", firstDiff(a, b))
 	}
 }

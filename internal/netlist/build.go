@@ -160,6 +160,39 @@ func (d *Design) ControlNet(in *Inst, kind PinKind) NetID {
 // ClockNet returns the net on the register's clock pin, or NoID.
 func (d *Design) ClockNet(in *Inst) NetID { return d.ControlNet(in, PinClock) }
 
+// ClockRootNet resolves a clock net to its distribution root: it walks up
+// through clock-buffer drivers (KindClockBuf) to the net the buffer chain
+// is fed from, stopping at clock gates, ports or undriven nets. With no
+// buffered tree present it is the identity, so consumers that key on the
+// root (compatibility signatures) are invariant to whether a retained
+// clock tree is currently attached and to which leaf a sink is parented.
+func (d *Design) ClockRootNet(id NetID) NetID {
+	for depth := 0; depth < 256; depth++ {
+		n := d.Net(id)
+		if n == nil || n.Driver == NoID {
+			return id
+		}
+		drv := d.pins[n.Driver]
+		in := d.Inst(drv.Inst)
+		if in == nil || in.Kind != KindClockBuf {
+			return id
+		}
+		up := NetID(NoID)
+		for _, pid := range in.Pins {
+			p := d.pins[pid]
+			if p.Dir == DirIn && p.Net != NoID {
+				up = p.Net
+				break
+			}
+		}
+		if up == NoID {
+			return id
+		}
+		id = up
+	}
+	return id
+}
+
 // OutPin returns the output pin of a comb/buffer/port instance, or nil.
 func (d *Design) OutPin(in *Inst) *Pin {
 	for _, pid := range in.Pins {

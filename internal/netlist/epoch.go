@@ -18,23 +18,61 @@ package netlist
 //     ResizeRegister). The graph topology survives; only delays, loads and
 //     seeds in the neighbourhood of the touched instances move.
 //
-// The touched record is a bounded ring. When it overflows it is dropped
-// wholesale and TouchedSince reports incomplete, which simply downgrades
-// consumers to a full rebuild — correctness never depends on the ring.
+// Orthogonally to those semantic classes, every edit belongs to an *edit
+// class* — a scope tag that routes the touched record into a per-class
+// ring. EditClassFlow is the default: ordinary flow edits (moves, merges,
+// resizes, skews) land there and are what TouchedSince reports. The
+// retained clock-tree engine tags its internal buffer/net churn
+// EditClassCTS, which keeps it out of the flow ring entirely: a CTS repair
+// can touch thousands of instances without evicting the handful of flow
+// edits the STA and compat-graph engines need to stay on their delta
+// paths. Epochs are shared across classes (one monotonic counter), only
+// the touched record is partitioned.
+//
+// Each touched record is a bounded ring (capacity SetTouchedLogCap,
+// default defaultTouchedRingCap). When a ring overflows it is dropped
+// wholesale and TouchedSince reports incomplete for that class, which
+// simply downgrades consumers to a full rebuild — correctness never
+// depends on a ring.
 //
 // All edits must go through the Design methods (Connect, Disconnect,
 // MoveInst, ResizeRegister, ...); writing Inst.Pos or pin/net fields
 // directly bypasses tracking and leaves incremental consumers stale.
 
-// touchedRingCap bounds the touched-instance ring. 4096 entries cover the
-// per-iteration edit volume of the composition flow's hot loop (skew +
-// sizing touch at most a few hundred registers); bulk edits such as CTS
-// teardown overflow it and correctly force a full rebuild.
-const touchedRingCap = 4096
+// EditClass scopes an edit's touched record to one consumer group.
+type EditClass uint8
+
+const (
+	// EditClassFlow is the default class: ordinary design edits, visible
+	// to TouchedSince.
+	EditClassFlow EditClass = iota
+	// EditClassCTS tags the retained clock-tree engine's internal edits
+	// (buffer adds/moves/removals, leaf-net rewires). They bump the shared
+	// epochs but are recorded in a separate ring, invisible to
+	// EditClassFlow consumers.
+	EditClassCTS
+
+	numEditClasses
+)
+
+// defaultTouchedRingCap bounds each touched-instance ring unless
+// SetTouchedLogCap overrides it. 4096 entries cover the per-iteration edit
+// volume of the composition flow's hot loop (skew + sizing touch at most a
+// few hundred registers); bulk edits overflow it and correctly force a
+// full rebuild.
+const defaultTouchedRingCap = 4096
 
 type touchedEntry struct {
 	epoch uint64
 	inst  InstID
+}
+
+// classRing is one edit class's bounded touched record.
+type classRing struct {
+	// trackedFrom is the cursor floor: TouchedSince(c) is complete iff
+	// c >= trackedFrom.
+	trackedFrom uint64
+	ring        []touchedEntry
 }
 
 // editLog is the per-Design edit tracker. The zero value is ready to use.
@@ -42,10 +80,18 @@ type editLog struct {
 	epoch           uint64
 	structuralEpoch uint64
 	clockEpoch      uint64
-	// trackedFrom is the cursor floor: TouchedSince(c) is complete iff
-	// c >= trackedFrom.
-	trackedFrom uint64
-	ring        []touchedEntry
+	// class is the edit class subsequent edits are recorded under.
+	class EditClass
+	// cap is the per-class ring capacity (0 = defaultTouchedRingCap).
+	cap   int
+	rings [numEditClasses]classRing
+}
+
+func (e *editLog) ringCap() int {
+	if e.cap > 0 {
+		return e.cap
+	}
+	return defaultTouchedRingCap
 }
 
 // Epoch returns the design's current edit epoch. It increases by at least
@@ -61,19 +107,72 @@ func (d *Design) StructuralEpoch() uint64 { return d.edits.structuralEpoch }
 // change.
 func (d *Design) ClockEpoch() uint64 { return d.edits.clockEpoch }
 
-// TouchedSince returns the IDs of instances touched by timing-relevant
-// edits after the given epoch, most recent first and deduplicated, plus
-// whether the record is complete. complete == false means the ring was
-// overwritten past the cursor and the caller must assume anything changed.
-// Returned IDs may refer to since-removed instances (Inst returns nil).
-func (d *Design) TouchedSince(epoch uint64) (touched []InstID, complete bool) {
+// EditClass returns the class new edits are currently recorded under.
+func (d *Design) EditClass() EditClass { return d.edits.class }
+
+// SetEditClass routes subsequent edits' touched records to the given
+// class's ring and returns the previous class. Prefer WithEditClass for
+// scoped use.
+func (d *Design) SetEditClass(c EditClass) EditClass {
+	prev := d.edits.class
+	if c < numEditClasses {
+		d.edits.class = c
+	}
+	return prev
+}
+
+// WithEditClass runs fn with the edit class temporarily switched, restoring
+// the previous class afterwards (also on panic).
+func (d *Design) WithEditClass(c EditClass, fn func()) {
+	prev := d.SetEditClass(c)
+	defer d.SetEditClass(prev)
+	fn()
+}
+
+// TouchedLogCap returns the per-class touched-ring capacity.
+func (d *Design) TouchedLogCap() int { return d.edits.ringCap() }
+
+// SetTouchedLogCap sets the per-class touched-ring capacity (entries).
+// n <= 0 restores the default. Shrinking below a ring's current length
+// drops that ring wholesale (consumers degrade to a full rebuild once,
+// exactly as on overflow).
+func (d *Design) SetTouchedLogCap(n int) {
 	e := &d.edits
-	if epoch < e.trackedFrom {
+	if n <= 0 {
+		n = 0
+	}
+	e.cap = n
+	limit := e.ringCap()
+	for i := range e.rings {
+		r := &e.rings[i]
+		if len(r.ring) > limit {
+			r.ring = r.ring[:0]
+			r.trackedFrom = e.epoch
+		}
+	}
+}
+
+// TouchedSince returns the IDs of instances touched by EditClassFlow edits
+// after the given epoch, most recent first and deduplicated, plus whether
+// the record is complete. complete == false means the ring was overwritten
+// past the cursor and the caller must assume anything changed. Returned
+// IDs may refer to since-removed instances (Inst returns nil).
+func (d *Design) TouchedSince(epoch uint64) (touched []InstID, complete bool) {
+	return d.TouchedSinceClass(epoch, EditClassFlow)
+}
+
+// TouchedSinceClass is TouchedSince restricted to one edit class's record.
+func (d *Design) TouchedSinceClass(epoch uint64, class EditClass) (touched []InstID, complete bool) {
+	if class >= numEditClasses {
+		return nil, false
+	}
+	r := &d.edits.rings[class]
+	if epoch < r.trackedFrom {
 		return nil, false
 	}
 	seen := map[InstID]bool{}
-	for i := len(e.ring) - 1; i >= 0; i-- {
-		ent := e.ring[i]
+	for i := len(r.ring) - 1; i >= 0; i-- {
+		ent := r.ring[i]
 		if ent.epoch <= epoch {
 			break
 		}
@@ -85,16 +184,18 @@ func (d *Design) TouchedSince(epoch uint64) (touched []InstID, complete bool) {
 	return touched, true
 }
 
-// noteTouch records a parametric edit to the instance.
+// noteTouch records a parametric edit to the instance under the current
+// edit class.
 func (d *Design) noteTouch(inst InstID) {
 	e := &d.edits
 	e.epoch++
-	if len(e.ring) == touchedRingCap {
+	r := &e.rings[e.class]
+	if len(r.ring) >= e.ringCap() {
 		// Drop the record wholesale: only the new entry remains tracked.
-		e.ring = e.ring[:0]
-		e.trackedFrom = e.epoch - 1
+		r.ring = r.ring[:0]
+		r.trackedFrom = e.epoch - 1
 	}
-	e.ring = append(e.ring, touchedEntry{epoch: e.epoch, inst: inst})
+	r.ring = append(r.ring, touchedEntry{epoch: e.epoch, inst: inst})
 }
 
 // noteStructural records a data-path connectivity edit at the instance.

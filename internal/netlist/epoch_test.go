@@ -123,7 +123,7 @@ func TestTouchedSinceRemovedInst(t *testing.T) {
 func TestTouchedSinceRingOverflow(t *testing.T) {
 	d, r1, _ := buildPair(t)
 	cursor := d.Epoch()
-	for i := 0; i < touchedRingCap+5; i++ {
+	for i := 0; i < defaultTouchedRingCap+5; i++ {
 		d.MoveInst(r1, geom.Point{X: int64(1000 + i), Y: 1200})
 	}
 	if _, complete := d.TouchedSince(cursor); complete {
@@ -136,6 +136,127 @@ func TestTouchedSinceRingOverflow(t *testing.T) {
 	if !complete || len(touched) != 1 || touched[0] != r1.ID {
 		t.Fatalf("post-overflow TouchedSince = %v, %v; want [%d], complete",
 			touched, complete, r1.ID)
+	}
+}
+
+func TestEditClassScoping(t *testing.T) {
+	d, r1, r2 := buildPair(t)
+	if d.EditClass() != EditClassFlow {
+		t.Fatalf("default edit class = %v, want flow", d.EditClass())
+	}
+
+	cursor := d.Epoch()
+	d.WithEditClass(EditClassCTS, func() {
+		if d.EditClass() != EditClassCTS {
+			t.Fatalf("WithEditClass did not switch the class")
+		}
+		d.MoveInst(r1, geom.Point{X: 2000, Y: 1200})
+	})
+	if d.EditClass() != EditClassFlow {
+		t.Fatalf("WithEditClass did not restore the class")
+	}
+	if d.Epoch() <= cursor {
+		t.Fatalf("CTS-class edit did not bump the shared epoch")
+	}
+
+	// The CTS edit is invisible to the flow record but on the CTS record.
+	flow, ok := d.TouchedSince(cursor)
+	if !ok || len(flow) != 0 {
+		t.Fatalf("flow record sees CTS-class edit: %v, %v", flow, ok)
+	}
+	ctsT, ok := d.TouchedSinceClass(cursor, EditClassCTS)
+	if !ok || len(ctsT) != 1 || ctsT[0] != r1.ID {
+		t.Fatalf("CTS record = %v, %v; want [%d], complete", ctsT, ok, r1.ID)
+	}
+
+	// And vice versa: a flow edit stays off the CTS record.
+	cursor = d.Epoch()
+	d.MoveInst(r2, geom.Point{X: 4000, Y: 1200})
+	if got, ok := d.TouchedSinceClass(cursor, EditClassCTS); !ok || len(got) != 0 {
+		t.Fatalf("CTS record sees flow-class edit: %v, %v", got, ok)
+	}
+	if got, ok := d.TouchedSince(cursor); !ok || len(got) != 1 || got[0] != r2.ID {
+		t.Fatalf("flow record = %v, %v; want [%d], complete", got, ok, r2.ID)
+	}
+
+	// Nested overrides restore the outer class, even on panic-free return.
+	d.WithEditClass(EditClassCTS, func() {
+		d.WithEditClass(EditClassFlow, func() {
+			if d.EditClass() != EditClassFlow {
+				t.Fatalf("nested WithEditClass did not switch")
+			}
+		})
+		if d.EditClass() != EditClassCTS {
+			t.Fatalf("nested WithEditClass did not restore outer class")
+		}
+	})
+}
+
+func TestEditClassOverflowIsolation(t *testing.T) {
+	d, r1, r2 := buildPair(t)
+	cursor := d.Epoch()
+	// Overflow the CTS ring only.
+	d.WithEditClass(EditClassCTS, func() {
+		for i := 0; i < defaultTouchedRingCap+5; i++ {
+			d.MoveInst(r1, geom.Point{X: int64(1000 + i), Y: 1200})
+		}
+	})
+	d.MoveInst(r2, geom.Point{X: 4000, Y: 1200})
+	if _, ok := d.TouchedSinceClass(cursor, EditClassCTS); ok {
+		t.Fatalf("CTS record survived its own overflow")
+	}
+	got, ok := d.TouchedSince(cursor)
+	if !ok || len(got) != 1 || got[0] != r2.ID {
+		t.Fatalf("flow record degraded by CTS overflow: %v, %v", got, ok)
+	}
+}
+
+func TestSetTouchedLogCap(t *testing.T) {
+	d, r1, _ := buildPair(t)
+	if d.TouchedLogCap() != defaultTouchedRingCap {
+		t.Fatalf("default cap = %d, want %d", d.TouchedLogCap(), defaultTouchedRingCap)
+	}
+
+	d.SetTouchedLogCap(8)
+	if d.TouchedLogCap() != 8 {
+		t.Fatalf("cap = %d after SetTouchedLogCap(8)", d.TouchedLogCap())
+	}
+	cursor := d.Epoch()
+	for i := 0; i < 6; i++ {
+		d.MoveInst(r1, geom.Point{X: int64(1000 + i), Y: 1200})
+	}
+	if _, ok := d.TouchedSince(cursor); !ok {
+		t.Fatalf("record incomplete below the configured cap")
+	}
+	for i := 0; i < 8; i++ {
+		d.MoveInst(r1, geom.Point{X: int64(3000 + i), Y: 1200})
+	}
+	if _, ok := d.TouchedSince(cursor); ok {
+		t.Fatalf("record complete across a 14-edit burst at cap 8")
+	}
+
+	// Growing the cap keeps the (complete) suffix tracked; a fresh cursor
+	// is tracked again.
+	cursor = d.Epoch()
+	d.SetTouchedLogCap(0)
+	if d.TouchedLogCap() != defaultTouchedRingCap {
+		t.Fatalf("SetTouchedLogCap(0) did not restore the default")
+	}
+	d.MoveInst(r1, geom.Point{X: 9000, Y: 1200})
+	if got, ok := d.TouchedSince(cursor); !ok || len(got) != 1 {
+		t.Fatalf("post-resize record = %v, %v; want 1 entry, complete", got, ok)
+	}
+
+	// Shrinking below the ring's current length drops it wholesale: one
+	// degradation, then tracking resumes.
+	d.SetTouchedLogCap(2)
+	if _, ok := d.TouchedSince(cursor); ok {
+		t.Fatalf("record survived a shrink below its length")
+	}
+	cursor = d.Epoch()
+	d.MoveInst(r1, geom.Point{X: 9500, Y: 1200})
+	if got, ok := d.TouchedSince(cursor); !ok || len(got) != 1 {
+		t.Fatalf("record did not resume after shrink: %v, %v", got, ok)
 	}
 }
 

@@ -91,6 +91,12 @@ type rowSpace struct {
 	siteW int64
 	// occ[r] is a sorted list of occupied [lo,hi) x-intervals in row r.
 	occ [][]span
+	// raw keeps every blocked span individually (sorted by lo, overlaps
+	// allowed) so unblock can remove one contributor exactly; merged mode
+	// coalesces neighbours and cannot give a span back. Free-gap queries
+	// see the same union either way — bestInRow's scan tolerates overlaps
+	// — so the two modes place identically.
+	raw bool
 }
 
 type span struct{ lo, hi int64 }
@@ -117,8 +123,48 @@ func (rs *rowSpace) block(b geom.Rect) {
 		if r < 0 || r >= len(rs.occ) {
 			continue
 		}
-		rs.occ[r] = insertSpan(rs.occ[r], span{b.Lo.X, b.Hi.X})
+		if rs.raw {
+			rs.occ[r] = insertRaw(rs.occ[r], span{b.Lo.X, b.Hi.X})
+		} else {
+			rs.occ[r] = insertSpan(rs.occ[r], span{b.Lo.X, b.Hi.X})
+		}
 	}
+}
+
+// unblock removes one exact copy of the rect's span from every row it
+// touches. Raw mode only.
+func (rs *rowSpace) unblock(b geom.Rect) {
+	if !rs.raw {
+		panic("place: unblock on a merged rowSpace")
+	}
+	r0 := rs.rowOf(b.Lo.Y)
+	r1 := rs.rowOf(b.Hi.Y - 1)
+	for r := r0; r <= r1; r++ {
+		if r < 0 || r >= len(rs.occ) {
+			continue
+		}
+		rs.occ[r] = removeRaw(rs.occ[r], span{b.Lo.X, b.Hi.X})
+	}
+}
+
+func insertRaw(spans []span, s span) []span {
+	idx := sort.Search(len(spans), func(i int) bool { return spans[i].lo >= s.lo })
+	spans = append(spans, span{})
+	copy(spans[idx+1:], spans[idx:])
+	spans[idx] = s
+	return spans
+}
+
+func removeRaw(spans []span, s span) []span {
+	idx := sort.Search(len(spans), func(i int) bool { return spans[i].lo >= s.lo })
+	for i := idx; i < len(spans) && spans[i].lo == s.lo; i++ {
+		if spans[i].hi == s.hi {
+			return append(spans[:i], spans[i+1:]...)
+		}
+	}
+	// The caller's bookkeeping pairs every unblock with an earlier block;
+	// a miss means the retained occupancy has drifted from the design.
+	panic("place: unblock of a span that was never blocked")
 }
 
 func insertSpan(spans []span, s span) []span {
@@ -252,6 +298,13 @@ func Legalize(d *netlist.Design) *Result {
 // LegalizeIncremental places only the given instances, treating every other
 // placed instance as an obstacle. This is the post-composition step: the
 // freshly created MBRs take the space freed by their constituent registers.
+//
+// Clock buffers are never obstacles (unless they are in the moving set
+// themselves): the retained CTS engine re-legalizes the whole buffer set
+// after every design change, with data cells as obstacles — buffers yield
+// to logic, exactly as in a build-tree-last batch flow. Treating a
+// soon-to-move buffer as a blockage here would doubly constrain the data
+// cells for no benefit.
 func LegalizeIncremental(d *netlist.Design, insts []*netlist.Inst) *Result {
 	moving := map[netlist.InstID]bool{}
 	for _, in := range insts {
@@ -259,11 +312,19 @@ func LegalizeIncremental(d *netlist.Design, insts []*netlist.Inst) *Result {
 	}
 	rs := newRowSpace(d)
 	d.Insts(func(in *netlist.Inst) {
-		if in.Area() == 0 || moving[in.ID] {
+		if in.Area() == 0 || moving[in.ID] || in.Kind == netlist.KindClockBuf {
 			return
 		}
 		rs.block(in.Bounds())
 	})
+	return legalizeInto(d, rs, insts)
+}
+
+// legalizeInto places insts into the prepared occupancy in area-descending
+// order. Both the batch path and the retained Legalizer funnel through it
+// — same input sequence, same sort, same probes — so their outcomes are
+// identical for the same occupancy content.
+func legalizeInto(d *netlist.Design, rs *rowSpace, insts []*netlist.Inst) *Result {
 	res := &Result{}
 	ordered := append([]*netlist.Inst(nil), insts...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Area() > ordered[j].Area() })

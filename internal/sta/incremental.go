@@ -206,6 +206,7 @@ func (e *Engine) runIncremental(touched []netlist.InstID) error {
 
 	e.stats.IncrementalRuns++
 	e.stats.LastConePins = fwd.pushes + bwd.pushes
+	e.stats.LastKind = "incremental"
 	return nil
 }
 

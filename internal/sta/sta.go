@@ -36,6 +36,7 @@ package sta
 import (
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/netlist"
 )
 
@@ -80,6 +81,8 @@ type RunStats struct {
 	// LastConePins is the number of pins re-evaluated by the most recent
 	// incremental run (0 after a full build).
 	LastConePins int
+	// LastKind is "full" or "incremental" for the most recent run.
+	LastKind string
 }
 
 // Engine runs timing analysis on a design. The engine may be re-run after
@@ -156,6 +159,19 @@ func (e *Engine) Invalidate() { e.valid = false }
 
 // Stats reports how past Run calls were satisfied.
 func (e *Engine) Stats() RunStats { return e.stats }
+
+// Summary reports the unified retained-engine counters (engine.Retained):
+// incremental runs are deltas, full graph builds are rebuilds.
+func (e *Engine) Summary() engine.Summary {
+	return engine.Summary{
+		Updates:  e.stats.FullBuilds + e.stats.IncrementalRuns,
+		Deltas:   e.stats.IncrementalRuns,
+		Rebuilds: e.stats.FullBuilds,
+		LastKind: e.stats.LastKind,
+	}
+}
+
+var _ engine.Retained = (*Engine)(nil)
 
 const negInf = math.MaxFloat64 * -1
 
@@ -265,6 +281,7 @@ func (e *Engine) runFull() error {
 	})
 	e.stats.FullBuilds++
 	e.stats.LastConePins = 0
+	e.stats.LastKind = "full"
 	return nil
 }
 
