@@ -586,3 +586,112 @@ func BenchmarkCTS_FullVsDelta(b *testing.B) {
 	b.ReportMetric(float64(tFull.Nanoseconds())/n, "full_ns/update")
 	b.ReportMetric(float64(tFull)/float64(tDelta), "speedup_x")
 }
+
+// BenchmarkCompatNodePhase_FullVsDelta isolates the compat engine's node
+// phase: "full" recomputes every register's eligibility/info/signature by
+// the linear sweep (no timing feed attached), "delta" consumes the STA
+// engine's changed-slack feed and visits only the dirty candidates. Edits
+// move ≤1% of the registers per update; everything else (edge phase, edit
+// volume, designs) is identical, so node_ns/update is the tentpole's
+// speedup.
+func BenchmarkCompatNodePhase_FullVsDelta(b *testing.B) {
+	gen, err := bench.Generate(bench.D1(bench.ProfileOpts{Scale: 10}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := gen.Design
+	regs := d.Registers()
+	nEdit := len(regs)/100 + 1
+	eng := sta.New(d)
+	eng.SetIdealClocks(true)
+	for _, mode := range []string{"full", "delta"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			cg := compatgraph.New(d, gen.Plan, compatgraph.Options{Compat: compat.DefaultOptions()})
+			if mode == "delta" {
+				cg.SetTimingFeed(eng)
+			}
+			res, err := eng.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cg.Update(res) // prime the retained state (linear by definition)
+			base := cg.Stats()
+			rng := rand.New(rand.NewSource(11))
+			var visited int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				wiggleRegs(d, regs, rng, nEdit)
+				if res, err = eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				cg.Update(res)
+				visited += cg.Stats().LastNodesVisited
+			}
+			b.StopTimer()
+			cs := cg.Stats()
+			deltas := cs.NodeDeltas - base.NodeDeltas
+			// An occasional update may legitimately fall back to the linear
+			// sweep (a large re-propagated cone overflows the changed-slack
+			// feed); the amortized numbers below include those, but the
+			// delta path must carry the bulk of the updates.
+			if mode == "delta" && deltas < (b.N+1)/2 {
+				b.Fatalf("delta node phase took only %d of %d updates: %+v", deltas, b.N, cs)
+			}
+			n := float64(b.N)
+			if mode == "delta" {
+				b.ReportMetric(float64(deltas)/n, "node_deltas/update")
+			}
+			b.ReportMetric(float64(cs.NodePhaseNS-base.NodePhaseNS)/n, "node_ns/update")
+			b.ReportMetric(float64(visited)/n, "nodes_visited/update")
+		})
+	}
+}
+
+// BenchmarkCTSMeasure_FullVsCached compares the batch clock-network walk
+// (cts.Measure) with the engine's retained per-tree metrics after delta
+// updates folding ≤1% register moves. Both values are asserted equal
+// bit-for-bit every iteration; speedup_x is the measurement-point speedup
+// the retained metrics layer buys.
+func BenchmarkCTSMeasure_FullVsCached(b *testing.B) {
+	gen, err := bench.Generate(bench.D2(bench.ProfileOpts{Scale: 10}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := gen.Design
+	eng := cts.NewEngine(d, cts.DefaultOptions())
+	if err := eng.Attach(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	var tFull, tCached time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		regs := d.Registers()
+		wiggleRegs(d, regs, rng, len(regs)/100+1)
+		if err := eng.Update(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		t0 := time.Now()
+		cached := eng.Metrics()
+		tCached += time.Since(t0)
+		t0 = time.Now()
+		full := cts.Measure(d)
+		tFull += time.Since(t0)
+		if cached != full {
+			b.Fatalf("cached metrics %+v != Measure %+v", cached, full)
+		}
+	}
+	b.StopTimer()
+	if st := eng.Stats(); st.MetricsFallbacks != 0 {
+		b.Fatalf("cached path fell back %d times", st.MetricsFallbacks)
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(tCached.Nanoseconds())/n, "cached_ns/measure")
+	b.ReportMetric(float64(tFull.Nanoseconds())/n, "full_ns/measure")
+	b.ReportMetric(float64(tFull)/float64(tCached), "speedup_x")
+}

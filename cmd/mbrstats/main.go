@@ -140,6 +140,7 @@ func main() {
 		res.WNS, -res.TNS/1000, res.FailingEndpoints, res.TotalEndpoints)
 
 	cg := compatgraph.New(d, plan, compatgraph.Options{Compat: compat.DefaultOptions()})
+	cg.SetTimingFeed(eng)
 	g := cg.Update(res)
 	cg.Subgraphs(30)
 	st := g.Stats()
@@ -225,6 +226,9 @@ func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgr
 			cs.LastPairsTested, cs.LastEdgesRetested,
 			cs.LastRejectsByTest[0], cs.LastRejectsByTest[1],
 			cs.LastRejectsByTest[2], cs.LastRejectsByTest[3])
+		fmt.Printf("  phases: node %s (%d visited, %.2f ms), edges %.2f ms\n",
+			cs.LastNodePhase, cs.LastNodesVisited,
+			float64(cs.LastNodePhaseNS)/1e6, float64(cs.LastEdgePhaseNS)/1e6)
 		opts := core.DefaultOptions()
 		opts.NamePrefix = fmt.Sprintf("mbrp%d", p)
 		opts.ReleaseClocks = ct.ReleaseClocks
@@ -245,6 +249,14 @@ func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgr
 			line += fmt.Sprintf(" (fallback: %s)", ts.LastFallbackReason)
 		}
 		fmt.Println(line)
+		fmt.Printf("  cts phases: plan %.2f ms, repair %.2f ms, legalize %.2f ms\n",
+			float64(ts.LastPlanNS)/1e6, float64(ts.LastRepairNS)/1e6,
+			float64(ts.LastLegalizeNS)/1e6)
+		pm := ct.Metrics()
+		ts = ct.Stats()
+		fmt.Printf("  clock network (cached): %d buffers, %.2f pF, %.2f mm (%d metric fallbacks)\n",
+			pm.Buffers, pm.TotalCapFF/1000, float64(pm.WirelengthDBU)/1e6,
+			ts.MetricsFallbacks)
 		if len(cres.MBRs) == 0 {
 			fmt.Printf("  converged after %d passes (delta/rebuild decisions: %d/%d)\n",
 				p, cs.Deltas, cs.Rebuilds)

@@ -12,14 +12,21 @@
 // full pairwise sweep, which is also the package's correctness oracle
 // (compat.Build).
 //
-// Exactness strategy: node data (slacks, feasible regions, clock positions,
-// signatures) is recomputed for every live register on every Update — this
-// is linear in design size, identical to Build's node phase, and sidesteps
-// the web of indirect dependencies a region has on neighboring pin
-// positions and skews. The delta applies to the O(n²) pairwise edge phase,
-// which dominates Build: pairs are re-tested only when an endpoint's
-// recomputed data differs from the cache, so the maintained graph is
-// exactly the graph Build would produce, by construction, at every step.
+// Exactness strategy: a node's cached data (slacks, feasible region, clock
+// position, signature) is a pure function of that register's own pins'
+// slacks, its own geometry and attributes, and the positions and electrical
+// parameters of the other instances on its D/Q data nets. With a timing
+// feed attached (SetTimingFeed), the node phase recomputes only the
+// registers named dirty by those dependencies — the STA engine's
+// changed-slack ring for the timing inputs, the netlist touched ring plus a
+// one-hop data-net closure for the geometric ones — and value-compares
+// against the cache, so the maintained node set is exactly what a linear
+// recompute would produce. Without a feed (or when either ring overflowed)
+// the node phase falls back to the PR-3 linear sweep over every register,
+// which remains the oracle. The edge phase is unchanged: pairs are
+// re-tested only when an endpoint's data differs from the cache, with the
+// full pairwise sweep as the overflow fallback, so the maintained graph is
+// exactly the graph Build would produce at every step.
 package compatgraph
 
 import (
@@ -27,6 +34,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/compat"
 	"repro/internal/engine"
@@ -36,6 +44,16 @@ import (
 	"repro/internal/scan"
 	"repro/internal/sta"
 )
+
+// TimingFeed is the dirty-node feed the node phase consumes: the STA
+// engine's changed-slack register ring (sta.Engine satisfies it). The
+// Results passed to Update must come from the feed's most recent Run;
+// RegsWithChangedSlack must report every register whose D/Q pin slacks
+// changed in runs after the cursor, or incomplete.
+type TimingFeed interface {
+	SlackSeq() uint64
+	RegsWithChangedSlack(cursor uint64) ([]netlist.InstID, bool)
+}
 
 // Options tunes the engine.
 type Options struct {
@@ -81,6 +99,10 @@ type Stats struct {
 	// maintenance) must never show up here.
 	TouchedOverflows int
 
+	// NodeDeltas counts updates whose node phase recomputed only the
+	// dirty-candidate registers (vs the linear sweep over all of them).
+	NodeDeltas int
+
 	LastKind          UpdateKind
 	LastNodes         int
 	LastEdges         int
@@ -92,6 +114,16 @@ type Stats struct {
 	// LastRejectsByTest counts pairs rejected by each test (functional,
 	// scan, placement, timing) in the last Update's evaluations.
 	LastRejectsByTest [4]int
+	// LastNodePhase is "delta" or "linear" for the last Update's node
+	// phase; LastNodesVisited counts the registers whose eligibility,
+	// info and signature it actually recomputed.
+	LastNodePhase    string
+	LastNodesVisited int
+
+	// Per-phase wall time, accumulated and for the last Update. Excluded
+	// from determinism comparisons (wall time is not reproducible).
+	NodePhaseNS, EdgePhaseNS         int64
+	LastNodePhaseNS, LastEdgePhaseNS int64
 
 	// LastComponents / LastComponentsReused describe the most recent
 	// Subgraphs call: connected components seen and how many reused a
@@ -126,13 +158,23 @@ type Engine struct {
 	timingSnap netlist.TimingSpec
 	allowCross bool
 
+	// Dirty-node feed for the delta node phase (nil = always linear).
+	feed       TimingFeed
+	feedCursor uint64
+
 	nodes    map[netlist.InstID]*node
 	excluded map[netlist.InstID]compat.NotComposableReason
 
 	part  *partition.Cache
 	graph *compat.Graph // last materialized graph
-	order []netlist.InstID
-	stats Stats
+	// order is the node set in ascending instance-ID order (the Build
+	// order); infosArr/sigsArr/ordOf are kept aligned with it so the delta
+	// node phase can patch dirty slots instead of re-deriving every node.
+	order    []netlist.InstID
+	infosArr []*compat.RegInfo
+	sigsArr  []compat.StaticSig
+	ordOf    map[netlist.InstID]int
+	stats    Stats
 }
 
 // New creates an engine over a design and scan plan (plan may be nil). The
@@ -146,6 +188,19 @@ func New(d *netlist.Design, plan *scan.Plan, opts Options) *Engine {
 
 // Invalidate forces the next Update to take the full-sweep path.
 func (e *Engine) Invalidate() { e.valid = false }
+
+// SetTimingFeed attaches the dirty-node feed that lets the node phase run
+// by delta. After this call, every Update's res argument must be the
+// snapshot of the feed engine's most recent Run; with no feed (the
+// default) the node phase is recomputed linearly every Update.
+func (e *Engine) SetTimingFeed(f TimingFeed) {
+	e.feed = f
+	if f != nil {
+		// Anything before this point was never observed through the feed.
+		e.feedCursor = 0
+		e.valid = false
+	}
+}
 
 // SetWorkers bounds the fan-out of pairwise re-tests (engine.Retained
 // convention: results identical for any value, 1 forces sequential).
@@ -186,6 +241,24 @@ func (e *Engine) compatOpts() compat.Options {
 	return o
 }
 
+// nodeState is the node phase's product: the current node set with its
+// data, diffed against the retained cache.
+type nodeState struct {
+	order []netlist.InstID
+	infos []*compat.RegInfo
+	sigs  []compat.StaticSig
+
+	isDirty, sDirty []bool
+	dirtyOrd        []int
+	added           int
+	removedIDs      []netlist.InstID
+
+	// excluded is the full fresh exclusion map on the linear path; nil on
+	// the delta path, which patches e.excluded in place.
+	excluded map[netlist.InstID]compat.NotComposableReason
+	visited  int // registers whose eligibility/info/sig were recomputed
+}
+
 // Update brings the retained graph up to date with the design and the given
 // fresh STA results, and materializes it. The returned graph is exactly the
 // graph compat.Build would produce on the same inputs, independent of the
@@ -195,7 +268,7 @@ func (e *Engine) Update(res *sta.Results) *compat.Graph {
 	opts := e.compatOpts()
 	allowCross := e.plan == nil || e.plan.AllowCrossChain
 
-	_, complete := d.TouchedSince(e.cursor)
+	touched, complete := d.TouchedSince(e.cursor)
 	kind := KindDelta
 	switch {
 	case !e.valid:
@@ -206,51 +279,25 @@ func (e *Engine) Update(res *sta.Results) *compat.Graph {
 		kind = KindTimingChanged
 	}
 
-	// Node phase: recompute every live register's eligibility, info and
-	// signature (see the package comment for why this is not delta'd).
-	regs := d.Registers()
-	order := make([]netlist.InstID, 0, len(regs))
-	infos := make([]*compat.RegInfo, 0, len(regs))
-	sigs := make([]compat.StaticSig, 0, len(regs))
-	excluded := make(map[netlist.InstID]compat.NotComposableReason)
-	for _, in := range regs {
-		if reason, bad := compat.Exclusion(d, in); bad {
-			excluded[in.ID] = reason
-			continue
+	// Node phase: by delta over the dirty candidates when the feeds allow
+	// it, else the linear sweep over every register (fallback and oracle).
+	nodeStart := time.Now()
+	nodePhase := "linear"
+	var ns nodeState
+	if kind == KindDelta && e.feed != nil {
+		if slackRegs, ok := e.feed.RegsWithChangedSlack(e.feedCursor); ok {
+			nodePhase = "delta"
+			ns = e.nodePhaseDelta(res, opts, touched, slackRegs)
 		}
-		order = append(order, in.ID)
-		infos = append(infos, compat.NewRegInfo(d, res, in, opts))
-		sigs = append(sigs, compat.SigOf(d, e.plan, in))
 	}
+	if nodePhase == "linear" {
+		ns = e.nodePhaseLinear(res, opts)
+	}
+	nodeNS := time.Since(nodeStart).Nanoseconds()
 
-	// Diff against the retained node set.
-	added := 0
-	dirtyOrd := make([]int, 0, 16)
-	isDirty := make([]bool, len(order))
-	sDirty := make([]bool, len(order))
-	seen := make(map[netlist.InstID]bool, len(order))
-	for i, id := range order {
-		seen[id] = true
-		old, ok := e.nodes[id]
-		if ok && old.sig == sigs[i] && *old.info == *infos[i] {
-			continue // clean: every test input unchanged
-		}
-		if !ok {
-			added++
-		}
-		isDirty[i] = true
-		sDirty[i] = !ok || old.sig != sigs[i]
-		dirtyOrd = append(dirtyOrd, i)
-	}
-	removed := 0
-	for id := range e.nodes {
-		if !seen[id] {
-			removed++
-		}
-	}
-
+	removed := len(ns.removedIDs)
 	if kind == KindDelta &&
-		float64(len(dirtyOrd)+removed) > e.opts.MaxDeltaFrac*float64(len(order)) {
+		float64(len(ns.dirtyOrd)+removed) > e.opts.MaxDeltaFrac*float64(len(ns.order)) {
 		kind = KindDirtyOverflow
 	}
 
@@ -260,31 +307,279 @@ func (e *Engine) Update(res *sta.Results) *compat.Graph {
 	if kind == KindOverflow {
 		st.TouchedOverflows++
 	}
-	st.LastNodesAdded = added
+	if nodePhase == "delta" {
+		st.NodeDeltas++
+	}
+	st.LastNodePhase = nodePhase
+	st.LastNodesVisited = ns.visited
+	st.LastNodesAdded = ns.added
 	st.LastNodesRemoved = removed
-	st.LastNodesDirty = len(dirtyOrd)
+	st.LastNodesDirty = len(ns.dirtyOrd)
 	st.LastPairsTested = 0
 	st.LastEdgesRetested = 0
 	st.LastRejectsByTest = [4]int{}
 
+	edgeStart := time.Now()
 	if kind == KindDelta {
 		st.Deltas++
-		e.applyDelta(opts, allowCross, order, infos, sigs, isDirty, sDirty, dirtyOrd, seen)
+		e.applyDelta(opts, allowCross, &ns)
 	} else {
 		st.Rebuilds++
-		e.fullSweep(opts, allowCross, order, infos, sigs)
+		e.fullSweep(opts, allowCross, ns.order, ns.infos, ns.sigs)
 	}
+	edgeNS := time.Since(edgeStart).Nanoseconds()
 
-	e.excluded = excluded
-	e.order = order
+	if ns.excluded != nil {
+		e.excluded = ns.excluded
+	}
+	e.setOrder(ns.order, ns.infos, ns.sigs)
 	e.valid = true
 	e.cursor = d.Epoch()
 	e.timingSnap = d.Timing
 	e.allowCross = allowCross
+	if e.feed != nil {
+		e.feedCursor = e.feed.SlackSeq()
+	}
 	e.graph = e.materialize(opts)
-	st.LastNodes = len(order)
+	st.LastNodes = len(ns.order)
 	st.LastEdges = e.graph.NumEdges()
+	st.LastNodePhaseNS, st.LastEdgePhaseNS = nodeNS, edgeNS
+	st.NodePhaseNS += nodeNS
+	st.EdgePhaseNS += edgeNS
 	return e.graph
+}
+
+// setOrder installs the node ordering and its aligned data arrays,
+// rebuilding the ordinal index only when the ordering actually changed.
+func (e *Engine) setOrder(order []netlist.InstID, infos []*compat.RegInfo, sigs []compat.StaticSig) {
+	same := e.ordOf != nil && len(order) == len(e.order)
+	if same {
+		for i, id := range order {
+			if e.order[i] != id {
+				same = false
+				break
+			}
+		}
+	}
+	e.order, e.infosArr, e.sigsArr = order, infos, sigs
+	if same {
+		return
+	}
+	e.ordOf = make(map[netlist.InstID]int, len(order))
+	for i, id := range order {
+		e.ordOf[id] = i
+	}
+}
+
+// nodePhaseLinear recomputes every live register's eligibility, info and
+// signature and diffs them against the retained cache — the PR-3 exactness
+// anchor, now the fallback path and the delta node phase's oracle.
+func (e *Engine) nodePhaseLinear(res *sta.Results, opts compat.Options) nodeState {
+	d := e.d
+	regs := d.Registers()
+	ns := nodeState{
+		order:    make([]netlist.InstID, 0, len(regs)),
+		infos:    make([]*compat.RegInfo, 0, len(regs)),
+		sigs:     make([]compat.StaticSig, 0, len(regs)),
+		excluded: make(map[netlist.InstID]compat.NotComposableReason),
+		visited:  len(regs),
+	}
+	for _, in := range regs {
+		if reason, bad := compat.Exclusion(d, in); bad {
+			ns.excluded[in.ID] = reason
+			continue
+		}
+		ns.order = append(ns.order, in.ID)
+		ns.infos = append(ns.infos, compat.NewRegInfo(d, res, in, opts))
+		ns.sigs = append(ns.sigs, compat.SigOf(d, e.plan, in))
+	}
+
+	ns.isDirty = make([]bool, len(ns.order))
+	ns.sDirty = make([]bool, len(ns.order))
+	seen := make(map[netlist.InstID]bool, len(ns.order))
+	for i, id := range ns.order {
+		seen[id] = true
+		old, ok := e.nodes[id]
+		if ok && old.sig == ns.sigs[i] && *old.info == *ns.infos[i] {
+			continue // clean: every test input unchanged
+		}
+		if !ok {
+			ns.added++
+		}
+		ns.isDirty[i] = true
+		ns.sDirty[i] = !ok || old.sig != ns.sigs[i]
+		ns.dirtyOrd = append(ns.dirtyOrd, i)
+	}
+	for id := range e.nodes {
+		if !seen[id] {
+			ns.removedIDs = append(ns.removedIDs, id)
+		}
+	}
+	return ns
+}
+
+// nodePhaseDelta recomputes only the dirty-candidate registers: those whose
+// slacks the STA feed re-propagated, plus the touched instances and their
+// one-hop data-net closure (a register's region is bounded by the positions
+// and drive strengths of the other instances on its D/Q nets; membership
+// changes are force-touched by the netlist itself — see noteNetMembers).
+// Every other node's cached data is proven unchanged by that dependency
+// argument, so the result equals nodePhaseLinear's.
+func (e *Engine) nodePhaseDelta(res *sta.Results, opts compat.Options,
+	touched, slackRegs []netlist.InstID) nodeState {
+
+	d := e.d
+	cand := make(map[netlist.InstID]bool, len(touched)+len(slackRegs))
+	for _, id := range slackRegs {
+		cand[id] = true
+	}
+	// A register's RegInfo reads only the nets of its own D/Q pins
+	// (FeasibleRegion), so a touched instance X dirties exactly the
+	// registers attached via a PinData/PinOut pin to one of X's nets —
+	// the same filter noteNetMembers applies. Registers on X's nets via
+	// scan/reset/enable pins are unaffected: broadcast control nets would
+	// otherwise pull the whole design into the candidate set.
+	addMember := func(pid netlist.PinID) {
+		p := d.Pin(pid)
+		if p.Kind != netlist.PinData && p.Kind != netlist.PinOut {
+			return
+		}
+		if in := d.Inst(p.Inst); in != nil && in.Kind == netlist.KindReg {
+			cand[p.Inst] = true
+		}
+	}
+	for _, id := range touched {
+		cand[id] = true
+		in := d.Inst(id)
+		if in == nil {
+			continue // removed; its former neighbors were force-touched
+		}
+		for _, pid := range in.Pins {
+			p := d.Pin(pid)
+			if p.Net == netlist.NoID {
+				continue
+			}
+			nt := d.Net(p.Net)
+			if nt == nil || nt.IsClock {
+				continue // clock topology never feeds node data (root-resolved)
+			}
+			if nt.Driver != netlist.NoID {
+				addMember(nt.Driver)
+			}
+			for _, s := range nt.Sinks {
+				addMember(s)
+			}
+		}
+	}
+
+	// Classify each candidate against the cache. e.excluded is patched in
+	// place; membership changes are collected for the splice below.
+	type fresh struct {
+		info *compat.RegInfo
+		sig  compat.StaticSig
+	}
+	news := make(map[netlist.InstID]fresh)
+	var ns nodeState
+	removedSet := make(map[netlist.InstID]bool)
+	var addedIDs []netlist.InstID
+	dirtySet := make(map[netlist.InstID]bool)
+	for id := range cand {
+		in := d.Inst(id)
+		_, wasNode := e.nodes[id]
+		if in == nil || in.Kind != netlist.KindReg {
+			if wasNode {
+				removedSet[id] = true
+				ns.removedIDs = append(ns.removedIDs, id)
+			}
+			delete(e.excluded, id)
+			continue
+		}
+		ns.visited++
+		if reason, bad := compat.Exclusion(d, in); bad {
+			if wasNode {
+				removedSet[id] = true
+				ns.removedIDs = append(ns.removedIDs, id)
+			}
+			e.excluded[id] = reason
+			continue
+		}
+		delete(e.excluded, id)
+		info := compat.NewRegInfo(d, res, in, opts)
+		sig := compat.SigOf(d, e.plan, in)
+		if !wasNode {
+			ns.added++
+			addedIDs = append(addedIDs, id)
+			news[id] = fresh{info, sig}
+			dirtySet[id] = true
+			continue
+		}
+		old := e.nodes[id]
+		if old.sig == sig && *old.info == *info {
+			continue // clean: every test input unchanged
+		}
+		news[id] = fresh{info, sig}
+		dirtySet[id] = true
+	}
+
+	// Assemble the new ordering and aligned arrays, tracking the dirty
+	// ordinals as we go. With unchanged membership the retained arrays are
+	// patched in place — O(dirty) via the retained ordinal index — and
+	// otherwise the surviving slots and the (sorted) additions are
+	// merge-spliced in one linear pass.
+	if len(removedSet) == 0 && len(addedIDs) == 0 {
+		ns.order = e.order
+		ns.infos = e.infosArr
+		ns.sigs = e.sigsArr
+		for id := range dirtySet {
+			ns.dirtyOrd = append(ns.dirtyOrd, e.ordOf[id])
+		}
+	} else {
+		sort.Slice(addedIDs, func(a, b int) bool { return addedIDs[a] < addedIDs[b] })
+		n := len(e.order) - len(removedSet) + len(addedIDs)
+		ns.order = make([]netlist.InstID, 0, n)
+		ns.infos = make([]*compat.RegInfo, 0, n)
+		ns.sigs = make([]compat.StaticSig, 0, n)
+		ai := 0
+		appendOne := func(id netlist.InstID, info *compat.RegInfo, sig compat.StaticSig) {
+			if dirtySet[id] {
+				ns.dirtyOrd = append(ns.dirtyOrd, len(ns.order))
+			}
+			ns.order = append(ns.order, id)
+			ns.infos = append(ns.infos, info)
+			ns.sigs = append(ns.sigs, sig)
+		}
+		appendAdded := func(limit netlist.InstID, all bool) {
+			for ai < len(addedIDs) && (all || addedIDs[ai] < limit) {
+				id := addedIDs[ai]
+				f := news[id]
+				appendOne(id, f.info, f.sig)
+				ai++
+			}
+		}
+		for i, id := range e.order {
+			if removedSet[id] {
+				continue
+			}
+			appendAdded(id, false)
+			appendOne(id, e.infosArr[i], e.sigsArr[i])
+		}
+		appendAdded(0, true)
+	}
+	sort.Ints(ns.dirtyOrd)
+
+	// Patch dirty slots and derive the ordinal-indexed dirty views.
+	ns.isDirty = make([]bool, len(ns.order))
+	ns.sDirty = make([]bool, len(ns.order))
+	for _, i := range ns.dirtyOrd {
+		id := ns.order[i]
+		f := news[id]
+		old, wasNode := e.nodes[id]
+		ns.infos[i] = f.info
+		ns.sigs[i] = f.sig
+		ns.isDirty[i] = true
+		ns.sDirty[i] = !wasNode || old.sig != f.sig
+	}
+	return ns
 }
 
 // Subgraphs decomposes the current graph exactly like partition.Decompose
@@ -378,9 +673,12 @@ type deltaResult struct {
 
 // applyDelta re-tests only pairs with a changed endpoint, finding candidate
 // partners through a geometric grid over the move regions.
-func (e *Engine) applyDelta(opts compat.Options, allowCross bool,
-	order []netlist.InstID, infos []*compat.RegInfo, sigs []compat.StaticSig,
-	isDirty, sDirty []bool, dirtyOrd []int, seen map[netlist.InstID]bool) {
+func (e *Engine) applyDelta(opts compat.Options, allowCross bool, ns *nodeState) {
+	order, infos, sigs := ns.order, ns.infos, ns.sigs
+	isDirty, sDirty, dirtyOrd := ns.isDirty, ns.sDirty, ns.dirtyOrd
+	if len(dirtyOrd) == 0 && len(ns.removedIDs) == 0 {
+		return // nothing changed: the retained adjacency is already exact
+	}
 
 	n := len(order)
 	// Neighborhood index: every node's region, bucketed over the core.
@@ -464,14 +762,17 @@ func (e *Engine) applyDelta(opts compat.Options, allowCross bool,
 	wg.Wait()
 
 	// Merge phase (sequential): drop edges of removed and dirty nodes,
-	// refresh node payloads, then add the confirmed pairs.
-	for id, nd := range e.nodes {
-		if !seen[id] {
-			for v := range nd.nbr {
-				delete(e.nodes[v].nbr, id)
-			}
-			delete(e.nodes, id)
+	// refresh the dirty payloads (clean nodes already hold value-identical
+	// data), then add the confirmed pairs.
+	for _, id := range ns.removedIDs {
+		nd, ok := e.nodes[id]
+		if !ok {
+			continue
 		}
+		for v := range nd.nbr {
+			delete(e.nodes[v].nbr, id)
+		}
+		delete(e.nodes, id)
 	}
 	for _, i := range dirtyOrd {
 		id := order[i]
@@ -483,8 +784,6 @@ func (e *Engine) applyDelta(opts compat.Options, allowCross bool,
 		} else {
 			e.nodes[id] = &node{nbr: map[netlist.InstID]compat.TestMask{}}
 		}
-	}
-	for i, id := range order {
 		nd := e.nodes[id]
 		nd.inst = infos[i].Inst
 		nd.info = infos[i]
@@ -515,12 +814,9 @@ func (e *Engine) applyDelta(opts compat.Options, allowCross bool,
 // order (the Build order) with CSR-backed, ascending-sorted adjacency rows.
 func (e *Engine) materialize(opts compat.Options) *compat.Graph {
 	n := len(e.order)
-	ordOf := make(map[netlist.InstID]int, n)
+	ordOf := e.ordOf
 	regs := make([]*compat.RegInfo, n)
-	for i, id := range e.order {
-		ordOf[id] = i
-		regs[i] = e.nodes[id].info
-	}
+	copy(regs, e.infosArr)
 	total := 0
 	for _, id := range e.order {
 		total += len(e.nodes[id].nbr)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/compatgraph"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/netlist"
 	"repro/internal/partition"
 	"repro/internal/sta"
 )
@@ -149,6 +150,7 @@ func TestDeltaEqualsBuildOracle(t *testing.T) {
 				eng := sta.New(d)
 				eng.SetIdealClocks(true)
 				cg := compatgraph.New(d, b.Plan, compatgraph.Options{Compat: compat.DefaultOptions(), Workers: workers})
+				cg.SetTimingFeed(eng)
 				rng := rand.New(rand.NewSource(int64(len(profile)*1000 + workers)))
 
 				for round := 0; round < 8; round++ {
@@ -158,14 +160,17 @@ func TestDeltaEqualsBuildOracle(t *testing.T) {
 					}
 					got := cg.Update(res)
 					want := compat.Build(d, res, b.Plan, compat.DefaultOptions())
-					ctx := fmt.Sprintf("%s w%d round %d (%s)",
-						profile, workers, round, cg.Stats().LastKind)
+					ctx := fmt.Sprintf("%s w%d round %d (%s/%s)",
+						profile, workers, round, cg.Stats().LastKind, cg.Stats().LastNodePhase)
 					requireGraphsEqual(t, ctx, got, want)
 					mutate(t, b, eng, rng, round)
 				}
 				st := cg.Stats()
 				if st.Deltas == 0 {
 					t.Fatalf("no update took the delta path: %+v", st)
+				}
+				if st.NodeDeltas == 0 {
+					t.Fatalf("no update took the delta node phase: %+v", st)
 				}
 			})
 		}
@@ -185,6 +190,7 @@ func TestEngineDeterministicAcrossWorkers(t *testing.T) {
 		eng := sta.New(d)
 		eng.SetIdealClocks(true)
 		cg := compatgraph.New(d, b.Plan, compatgraph.Options{Compat: compat.DefaultOptions(), Workers: workers})
+		cg.SetTimingFeed(eng)
 		rng := rand.New(rand.NewSource(99))
 		var out []snap
 		for round := 0; round < 6; round++ {
@@ -206,6 +212,11 @@ func TestEngineDeterministicAcrossWorkers(t *testing.T) {
 			bs, os := base[i].st, other[i].st
 			bs.LastComponents, os.LastComponents = 0, 0
 			bs.LastComponentsReused, os.LastComponentsReused = 0, 0
+			// Wall time is not reproducible across runs.
+			bs.NodePhaseNS, os.NodePhaseNS = 0, 0
+			bs.EdgePhaseNS, os.EdgePhaseNS = 0, 0
+			bs.LastNodePhaseNS, os.LastNodePhaseNS = 0, 0
+			bs.LastEdgePhaseNS, os.LastEdgePhaseNS = 0, 0
 			if bs != os {
 				t.Fatalf("w%d round %d stats diverged:\n base %+v\nother %+v", w, i, bs, os)
 			}
@@ -249,6 +260,57 @@ func TestSubgraphsMatchDecompose(t *testing.T) {
 	if st := cg.Stats(); st.LastComponents == 0 {
 		t.Fatal("no components reported")
 	}
+}
+
+// TestNodePhaseDeltaVisitsOnlyDirty pins the O(touched) claim: after a
+// single-register edit, the delta node phase must engage and must examine
+// far fewer candidates than the design has registers, while still matching
+// the oracle exactly.
+func TestNodePhaseDeltaVisitsOnlyDirty(t *testing.T) {
+	b := genProfile(t, "D2")
+	d := b.Design
+	eng := sta.New(d)
+	eng.SetIdealClocks(true)
+	cg := compatgraph.New(d, b.Plan, compatgraph.Options{Compat: compat.DefaultOptions()})
+	cg.SetTimingFeed(eng)
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg.Update(res)
+
+	regs := d.Registers()
+	nRegs := len(regs)
+	var r *netlist.Inst
+	for _, c := range regs {
+		if !c.Fixed {
+			r = c
+			break
+		}
+	}
+	if r == nil {
+		t.Skip("no movable register")
+	}
+	d.MoveInst(r, geom.Point{X: r.Pos.X + 500, Y: r.Pos.Y + 500})
+	res, err = eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cg.Update(res)
+	st := cg.Stats()
+	if st.LastNodePhase != "delta" {
+		t.Fatalf("expected delta node phase, got %q (kind %s)", st.LastNodePhase, st.LastKind)
+	}
+	// One move dirties the register, its data-net neighbours, and the
+	// registers whose slack the STA cone sweep changed — a local set. Half
+	// the register count is a generous ceiling that still rules out any
+	// full sweep.
+	if st.LastNodesVisited >= nRegs/2 {
+		t.Fatalf("delta node phase visited %d of %d registers — not O(touched)",
+			st.LastNodesVisited, nRegs)
+	}
+	requireGraphsEqual(t, "single-move delta", got,
+		compat.Build(d, res, b.Plan, compat.DefaultOptions()))
 }
 
 // TestOverflowFallsBackToRebuild floods the touched ring with edits and

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/clique"
 	"repro/internal/compat"
@@ -159,52 +160,15 @@ func enumerateCandidates(
 		})
 	}
 
-	// addMulti validates one multi-member group (local node indices) and
-	// appends it as a candidate when it survives the §2/§3 filters.
-	addMulti := func(members []int, total int) {
-		global := make([]int, len(members))
-		for i, m := range members {
-			global[i] = nodes[m]
-		}
-		width, ok := widthFor(widths, total)
-		if !ok {
-			return
-		}
-		incomplete := width != total
-		if incomplete && !opts.AllowIncomplete {
-			return
-		}
-		// Group-level checks: scan contiguity and a non-empty common
-		// timing-feasible region.
-		if !g.GroupScanCompatible(global) {
-			return
-		}
-		if _, ok := g.GroupRegion(global); !ok {
-			return
-		}
-		if incomplete && !incompleteAreaOK(d, g, global, class, width, total, opts) {
-			return
-		}
-		blockers := blockerCount(g, ri, global)
-		var w float64
-		if opts.UseWeights {
-			var keep bool
-			w, keep = weightOf(total, blockers, false)
-			if !keep {
-				return
-			}
-		} else {
-			w = 1.0
-		}
-		cands = append(cands, candidate{
-			nodes:     global,
-			totalBits: total,
-			width:     width,
-			weight:    w,
-			blockers:  blockers,
-		})
-	}
-
+	// Multi-member groups are processed in two phases: a cheap sequential
+	// generation pass lists the groups in the exact order the historical
+	// single-pass loop appended them (clique enumeration order, then
+	// truncation windows, with the same mask dedup), and an expensive
+	// evaluation pass — scan/region/area filters, blocker counting,
+	// weighting — runs over that list, possibly fanned out across workers
+	// (evalSpecs). Survivors are appended in list order, so the candidate
+	// slice is byte-identical for any worker count.
+	var specs []candSpec
 	seen := map[uint64]bool{}
 	for ci, mask := range res.Cliques {
 		members := clique.Members(mask)
@@ -212,7 +176,7 @@ func enumerateCandidates(
 			continue // singletons already added above
 		}
 		seen[mask] = true
-		addMulti(members, res.TotalBits[ci])
+		specs = append(specs, candSpec{members: members, total: res.TotalBits[ci]})
 	}
 
 	// Contiguous-window candidates: when the layered enumeration was
@@ -253,12 +217,132 @@ func enumerateCandidates(
 				members = append(members, li)
 				if len(members) >= 2 && !seen[mask] {
 					seen[mask] = true
-					addMulti(append([]int(nil), members...), total)
+					specs = append(specs, candSpec{
+						members: append([]int(nil), members...), total: total,
+					})
 				}
 			}
 		}
 	}
+	cands = append(cands, evalSpecs(d, g, ri, nodes, widths, class, opts, specs)...)
 	return cands, res.Truncated, nil
+}
+
+// candSpec is one multi-member candidate group awaiting evaluation, in the
+// order the sequential enumeration generated it.
+type candSpec struct {
+	// members are subgraph-local node indices.
+	members []int
+	total   int
+}
+
+// evalMulti validates one multi-member group against the §2/§3 filters —
+// library width, scan contiguity, non-empty common feasible region,
+// incomplete-MBR area rule — then counts blockers and weights it. It only
+// reads shared state and is safe to call concurrently.
+func evalMulti(
+	d *netlist.Design,
+	g *compat.Graph,
+	ri *regIndex,
+	nodes []int,
+	widths []int,
+	class lib.FuncClass,
+	opts Options,
+	spec candSpec,
+) (candidate, bool) {
+	global := make([]int, len(spec.members))
+	for i, m := range spec.members {
+		global[i] = nodes[m]
+	}
+	total := spec.total
+	width, ok := widthFor(widths, total)
+	if !ok {
+		return candidate{}, false
+	}
+	incomplete := width != total
+	if incomplete && !opts.AllowIncomplete {
+		return candidate{}, false
+	}
+	if !g.GroupScanCompatible(global) {
+		return candidate{}, false
+	}
+	if _, ok := g.GroupRegion(global); !ok {
+		return candidate{}, false
+	}
+	if incomplete && !incompleteAreaOK(d, g, global, class, width, total, opts) {
+		return candidate{}, false
+	}
+	blockers := blockerCount(g, ri, global)
+	w := 1.0
+	if opts.UseWeights {
+		var keep bool
+		w, keep = weightOf(total, blockers, false)
+		if !keep {
+			return candidate{}, false
+		}
+	}
+	return candidate{
+		nodes:     global,
+		totalBits: total,
+		width:     width,
+		weight:    w,
+		blockers:  blockers,
+	}, true
+}
+
+// evalSpecs evaluates the generated groups, fanning the per-group work out
+// across Options.Workers when there is enough of it, and returns the
+// survivors in generation order — the order the historical sequential loop
+// appended them, whatever the worker count or goroutine schedule. Each
+// evaluation lands in its index-addressed slot; the ordered compaction at
+// the end is the only cross-slot step.
+func evalSpecs(
+	d *netlist.Design,
+	g *compat.Graph,
+	ri *regIndex,
+	nodes []int,
+	widths []int,
+	class lib.FuncClass,
+	opts Options,
+	specs []candSpec,
+) []candidate {
+	if len(specs) == 0 {
+		return nil
+	}
+	out := make([]candidate, len(specs))
+	keep := make([]bool, len(specs))
+	// Fanning out pays only when the per-spec filter work dominates the
+	// goroutine machinery; tiny spec lists stay on the caller's goroutine.
+	const minParallelSpecs = 32
+	if workers := resolveWorkers(opts.Workers); workers > 1 && len(specs) >= minParallelSpecs {
+		var wg sync.WaitGroup
+		next := make(chan int, len(specs))
+		for i := range specs {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i], keep[i] = evalMulti(d, g, ri, nodes, widths, class, opts, specs[i])
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range specs {
+			out[i], keep[i] = evalMulti(d, g, ri, nodes, widths, class, opts, specs[i])
+		}
+	}
+	kept := out[:0]
+	for i := range out {
+		if keep[i] {
+			kept = append(kept, out[i])
+		}
+	}
+	return kept
 }
 
 // widthFor returns the smallest library width ≥ total.

@@ -252,8 +252,12 @@ func Measure(d *netlist.Design) Metrics {
 		if !n.IsClock {
 			return
 		}
-		m.TotalCapFF += d.NetLoadCap(n)
-		m.WirelengthDBU += d.NetHPWL(n)
+		// NetContrib is the shared per-net helper also behind the Engine's
+		// cached metrics, so batch and cached totals agree bit-for-bit (and
+		// each net's bounding box is computed once, not twice).
+		capFF, hpwl := d.NetContrib(n)
+		m.TotalCapFF += capFF
+		m.WirelengthDBU += hpwl
 	})
 	return m
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/netlist"
@@ -65,6 +66,21 @@ type Stats struct {
 	// touched record overflowed between updates); cheap Syncs cover the
 	// rest.
 	LegalizerRebuilds int
+
+	// Per-phase wall time, cumulative and for the most recent
+	// Attach/Update: clustering-plan computation, tree repair/realization
+	// (rewiring, buffer churn, centroid moves), and buffer legalization.
+	// Wall times are excluded from determinism comparisons.
+	PlanNS, RepairNS, LegalizeNS             int64
+	LastPlanNS, LastRepairNS, LastLegalizeNS int64
+
+	// MetricsCalls counts Engine.Metrics calls; MetricsFallbacks counts the
+	// ones that fell back to a batch Measure walk (engine detached, or
+	// design edited since the last Update); MetricsDomainsRecomputed counts
+	// per-tree cache refreshes.
+	MetricsCalls             int
+	MetricsFallbacks         int
+	MetricsDomainsRecomputed int
 }
 
 // Engine is the retained clock-tree engine: Attach builds a tree per clock
@@ -107,7 +123,16 @@ type Engine struct {
 	// freshly issued IDs an Attach gave them — no delta repair has reused
 	// or churned them since. See Canonicalize.
 	canonical bool
-	stats     Stats
+	// foreignBufs/foreignSinks snapshot, at Attach time, the clock
+	// buffers and register clock sinks that live outside every retained
+	// domain (pre-existing buffers, registers clocked off nets the engine
+	// does not manage). They are constants of the attached period: the
+	// engine never touches them, and any edit that could change them bumps
+	// the epoch and sends Metrics to its batch fallback until the next
+	// Update (which re-attaches when the root set changed).
+	foreignBufs  int
+	foreignSinks int
+	stats        Stats
 }
 
 // domain is one clock root's retained tree. levels is nil while the root
@@ -115,6 +140,14 @@ type Engine struct {
 type domain struct {
 	root   *netlist.Net
 	levels [][]*node
+	// Cached per-tree metrics (metrics.go): the root's and tree nets'
+	// contributions plus the domain's register-sink count. mValid is
+	// cleared whenever the domain's update path runs (every non-clean
+	// Update re-plans and re-legalizes, so any net or buffer may have
+	// moved) and set again by the next Metrics refresh.
+	mValid bool
+	mNets  []netMetric
+	mSinks int
 }
 
 // NewEngine creates a detached engine for the design. Call Attach (or the
@@ -202,10 +235,37 @@ func (e *Engine) Attach() error {
 	}
 	e.attached = true
 	e.canonical = true
+	e.snapshotForeign()
 	e.cursor = e.d.Epoch()
 	e.stats.Attaches++
 	e.stats.LastKind = UpdateAttach
 	return nil
+}
+
+// snapshotForeign counts the clock buffers and register clock sinks outside
+// every retained domain. Runs once per Attach (which already walks the
+// design); the cached Metrics path adds these constants to the per-domain
+// sums.
+func (e *Engine) snapshotForeign() {
+	e.foreignBufs, e.foreignSinks = 0, 0
+	e.d.Insts(func(in *netlist.Inst) {
+		switch in.Kind {
+		case netlist.KindClockBuf:
+			if !e.ownBuf[in.ID] {
+				e.foreignBufs++
+			}
+		case netlist.KindReg:
+			cp := e.d.ClockPin(in)
+			if cp == nil || cp.Net == netlist.NoID {
+				return
+			}
+			if e.ownNet[cp.Net] == nil {
+				if _, isRoot := e.rootOf[cp.Net]; !isRoot {
+					e.foreignSinks++
+				}
+			}
+		}
+	})
 }
 
 func (e *Engine) attachDomain(root *netlist.Net) (*domain, error) {
@@ -214,10 +274,14 @@ func (e *Engine) attachDomain(root *netlist.Net) (*domain, error) {
 	if len(sinks) == 0 {
 		return dom, nil
 	}
+	t0 := time.Now()
 	p, err := planTree(sinks, e.opts, e.workers)
+	e.notePlan(t0)
 	if err != nil {
 		return nil, err
 	}
+	t0 = time.Now()
+	defer e.noteRepair(t0)
 	for _, s := range sinks {
 		e.d.Disconnect(s.pin)
 	}
@@ -315,6 +379,29 @@ func (e *Engine) resetLast() {
 	e.stats.LastBuffersAdded = 0
 	e.stats.LastBuffersRemoved = 0
 	e.stats.LastFallbackReason = ""
+	e.stats.LastPlanNS = 0
+	e.stats.LastRepairNS = 0
+	e.stats.LastLegalizeNS = 0
+}
+
+// notePlan/noteRepair/noteLegalize accumulate per-phase wall time into the
+// last-update and lifetime counters.
+func (e *Engine) notePlan(t0 time.Time) {
+	ns := time.Since(t0).Nanoseconds()
+	e.stats.LastPlanNS += ns
+	e.stats.PlanNS += ns
+}
+
+func (e *Engine) noteRepair(t0 time.Time) {
+	ns := time.Since(t0).Nanoseconds()
+	e.stats.LastRepairNS += ns
+	e.stats.RepairNS += ns
+}
+
+func (e *Engine) noteLegalize(t0 time.Time) {
+	ns := time.Since(t0).Nanoseconds()
+	e.stats.LastLegalizeNS += ns
+	e.stats.LegalizeNS += ns
 }
 
 // Invalidate tears the trees down, reattaching every sink to its domain
@@ -443,6 +530,8 @@ func (e *Engine) removeNodes(nodes []*node) {
 // scratch; either way the content — and hence every placement — is
 // identical to what place.LegalizeIncremental computes fresh.
 func (e *Engine) relegalize() {
+	t0 := time.Now()
+	defer e.noteLegalize(t0)
 	bufs := e.Buffers()
 	if len(bufs) == 0 {
 		return
@@ -481,6 +570,9 @@ func sinksKey(ids []netlist.PinID) string {
 // current sink set.
 func (e *Engine) updateDomain(dom *domain) error {
 	d := e.d
+	// Any repair (or legalize pass after it) may move nets and buffers;
+	// the per-tree metrics cache is refreshed lazily by the next Metrics.
+	dom.mValid = false
 	// 1. Collect the current real sinks: non-engine pins on the root or on
 	// any tree net (new sinks land on the root via ReleaseClocks/merging,
 	// or on a leaf net via register splitting), in canonical order.
@@ -517,10 +609,14 @@ func (e *Engine) updateDomain(dom *domain) error {
 		p := d.Pin(pid)
 		sinks[i] = planSink{pin: p, child: -1, pos: d.PinPos(p), cap: p.Cap, ord: int64(pid)}
 	}
+	t0 := time.Now()
 	p, err := planTree(sinks, e.opts, e.workers)
+	e.notePlan(t0)
 	if err != nil {
 		return err
 	}
+	t0 = time.Now()
+	defer e.noteRepair(t0)
 
 	// 2. Match plan clusters to retained nodes by current net membership.
 	// Levels are processed bottom-up so an internal cluster's member pin

@@ -297,7 +297,11 @@ func TestEngineDeterministicAcrossWorkers(t *testing.T) {
 			for _, b := range eng.Buffers() {
 				pts = append(pts, b.Pos)
 			}
-			out = append(out, snap{pts, eng.Stats()})
+			st := eng.Stats()
+			// Wall-time counters are not deterministic; only decisions are.
+			st.PlanNS, st.RepairNS, st.LegalizeNS = 0, 0, 0
+			st.LastPlanNS, st.LastRepairNS, st.LastLegalizeNS = 0, 0, 0
+			out = append(out, snap{pts, st})
 			tw.mutate(t, rng)
 			if err := eng.Update(); err != nil {
 				t.Fatalf("update: %v", err)
@@ -366,6 +370,59 @@ func TestNewDomainFallsBackToRebuild(t *testing.T) {
 	requireTreesEqual(t, "post-rebuild", eng, tw.a.Design, tw.b.Design, bufs)
 	for _, tr := range trees {
 		tr.Remove()
+	}
+}
+
+// TestCachedMetricsEqualsMeasure is the retained-metrics oracle: after every
+// engine update the cached Metrics must equal the batch Measure of the same
+// design bit-for-bit (same per-net helper, same ascending-net-ID fold), and a
+// design edited since the last update must be answered by the batch fallback,
+// again exactly.
+func TestCachedMetricsEqualsMeasure(t *testing.T) {
+	for _, profile := range []string{"D1", "D2", "D3", "D4", "D5"} {
+		for _, workers := range []int{1, 2, runtime.NumCPU()} {
+			t.Run(fmt.Sprintf("%s/w%d", profile, workers), func(t *testing.T) {
+				tw := makeTwin(t, profile)
+				eng := cts.NewEngine(tw.a.Design, cts.DefaultOptions())
+				eng.SetWorkers(workers)
+				if err := eng.Attach(); err != nil {
+					t.Fatalf("attach: %v", err)
+				}
+				rng := rand.New(rand.NewSource(int64(len(profile)*77 + workers)))
+				for round := 0; round < 8; round++ {
+					before := eng.Stats().MetricsFallbacks
+					got := eng.Metrics()
+					want := cts.Measure(tw.a.Design)
+					if got != want {
+						t.Fatalf("round %d: cached metrics %+v != Measure %+v",
+							round, got, want)
+					}
+					if eng.Stats().MetricsFallbacks != before {
+						t.Fatalf("round %d: in-sync Metrics took the fallback", round)
+					}
+					tw.mutate(t, rng)
+					// Edited since the last update: the cache may not be
+					// trusted, so Metrics must detect it and fall back — and
+					// still agree with the oracle.
+					got = eng.Metrics()
+					want = cts.Measure(tw.a.Design)
+					if got != want {
+						t.Fatalf("round %d: fallback metrics %+v != Measure %+v",
+							round, got, want)
+					}
+					if eng.Stats().MetricsFallbacks != before+1 {
+						t.Fatalf("round %d: stale Metrics did not fall back", round)
+					}
+					if err := eng.Update(); err != nil {
+						t.Fatalf("round %d: update: %v", round, err)
+					}
+				}
+				st := eng.Stats()
+				if st.MetricsDomainsRecomputed == 0 {
+					t.Fatalf("cached path never refreshed a domain: %+v", st)
+				}
+			})
+		}
 	}
 }
 

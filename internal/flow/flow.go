@@ -25,6 +25,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/lib"
+	"repro/internal/metrics"
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/route"
@@ -155,8 +156,11 @@ type Report struct {
 	// timing and clock-tree engines.
 	STAStats sta.RunStats
 	CTSStats cts.Stats
-	// Engines is the uniform engine.Retained contract view of all three
-	// retained engines, keyed "sta", "compat", "cts".
+	// MetricsStats accounts for the retained design-aggregate tracker the
+	// measurement points read instead of walking the whole design.
+	MetricsStats metrics.Stats
+	// Engines is the uniform engine.Retained contract view of the retained
+	// engines, keyed "sta", "compat", "cts", "metrics".
 	Engines map[string]engine.Summary
 	// SkewedMBRs and ResizedMBRs count the post-composition optimizations.
 	SkewedMBRs  int
@@ -181,6 +185,9 @@ type engines struct {
 	sta *sta.Engine
 	cg  *compatgraph.Engine
 	cts *cts.Engine
+	// met retains the design-level report aggregates (cells, registers,
+	// area, signal wirelength) so measure never walks the whole design.
+	met *metrics.Tracker
 }
 
 // pickWorkers resolves a per-engine worker override against the global
@@ -200,8 +207,12 @@ func newEngines(d *netlist.Design, plan *scan.Plan, cfg Config) *engines {
 			Workers: pickWorkers(cfg.Compat.Workers, cfg.Workers),
 		}),
 		cts: cts.NewEngine(d, cfg.CTS.Tree),
+		met: metrics.New(d),
 	}
 	e.sta.SetWorkers(pickWorkers(cfg.STA.Workers, cfg.Workers))
+	// The compat node phase consumes the STA engine's changed-slack feed;
+	// every cg.Update in the flow passes that engine's latest snapshot.
+	e.cg.SetTimingFeed(e.sta)
 	cw := pickWorkers(cfg.CTS.Workers, cfg.Workers)
 	if cw == 0 {
 		cw = runtime.GOMAXPROCS(0)
@@ -213,9 +224,10 @@ func newEngines(d *netlist.Design, plan *scan.Plan, cfg Config) *engines {
 // summaries is the uniform contract view of the three engines.
 func (e *engines) summaries() map[string]engine.Summary {
 	return map[string]engine.Summary{
-		"sta":    e.sta.Summary(),
-		"compat": e.cg.Summary(),
-		"cts":    e.cts.Summary(),
+		"sta":     e.sta.Summary(),
+		"compat":  e.cg.Summary(),
+		"cts":     e.cts.Summary(),
+		"metrics": e.met.Summary(),
 	}
 }
 
@@ -229,6 +241,11 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 		d.SetTouchedLogCap(cfg.TouchedLogCap)
 		defer d.SetTouchedLogCap(prev)
 	}
+	// The engines below all start invalid (their first looks are full
+	// rebuilds), so whatever the rings recorded before this point — design
+	// construction, most commonly — only wastes their capacity. Start the
+	// run with the full ring budget.
+	d.ResetTouchedLog()
 	engs := newEngines(d, plan, cfg)
 	eng, cg := engs.sta, engs.cg
 
@@ -370,26 +387,35 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	rep.CompatStats = cg.Stats()
 	rep.STAStats = eng.Stats()
 	rep.CTSStats = engs.cts.Stats()
+	rep.MetricsStats = engs.met.Stats()
 	rep.Engines = engs.summaries()
 	rep.TotalTime = time.Since(t0)
 	return rep, nil
 }
 
-// measure snapshots the Table 1 metrics of the design's current state.
+// measure snapshots the Table 1 metrics of the design's current state. It
+// reads only retained layers — the STA engine, the compat engine, the CTS
+// engine's cached tree metrics and the design-aggregate tracker — so a
+// measurement after k edits costs O(k), not O(design). Every retained
+// value equals its batch oracle bit-for-bit (cts.Metrics vs cts.Measure,
+// metrics.Tracker vs the netlist walks), which keeps reports
+// byte-identical with the former batch measurement. route.Estimate is the
+// one remaining full-design pass: congestion is a global map by nature and
+// is rebuilt per measurement.
 func measure(d *netlist.Design, engs *engines, cfg Config) (Metrics, error) {
 	res, err := engs.sta.Run()
 	if err != nil {
 		return Metrics{}, err
 	}
 	g := engs.cg.Update(res)
-	cm := cts.Measure(d)
+	cm := engs.cts.Metrics()
 	congestion := route.Estimate(d, cfg.Route)
-	wlClk, wlSig := d.Wirelength()
+	dm := engs.met.Aggregates()
 
 	return Metrics{
-		AreaUM2:          float64(d.TotalArea()) / 1e6, // 1 DBU = 1 nm
-		Cells:            d.NumInsts(),
-		TotalRegs:        len(d.Registers()),
+		AreaUM2:          float64(dm.AreaDBU2) / 1e6, // 1 DBU = 1 nm
+		Cells:            dm.Cells,
+		TotalRegs:        dm.Regs,
 		CompRegs:         len(g.Regs),
 		ClkBufs:          cm.Buffers,
 		ClkCapPF:         cm.TotalCapFF / 1000,
@@ -398,8 +424,8 @@ func measure(d *netlist.Design, engs *engines, cfg Config) (Metrics, error) {
 		FailingEndpoints: res.FailingEndpoints,
 		TotalEndpoints:   res.TotalEndpoints,
 		OverflowEdges:    congestion.OverflowEdges(),
-		WLClkMM:          float64(wlClk) / 1e6,
-		WLSigMM:          float64(wlSig) / 1e6,
+		WLClkMM:          float64(cm.WirelengthDBU) / 1e6,
+		WLSigMM:          float64(dm.SignalWLDBU) / 1e6,
 	}, nil
 }
 

@@ -136,6 +136,22 @@ func (d *Design) TouchedLogCap() int { return d.edits.ringCap() }
 // n <= 0 restores the default. Shrinking below a ring's current length
 // drops that ring wholesale (consumers degrade to a full rebuild once,
 // exactly as on overflow).
+// ResetTouchedLog drops every class's touched ring, marking all past
+// edits untracked (readers with older cursors see an incomplete record
+// and degrade to their full paths, exactly as after an overflow). Callers
+// that create their incremental consumers *after* a bulk construction
+// phase — the flow does, its engines' first looks are full rebuilds by
+// definition — use this to hand the rings' whole capacity to the edits
+// that follow instead of the build churn that preceded them.
+func (d *Design) ResetTouchedLog() {
+	e := &d.edits
+	for i := range e.rings {
+		r := &e.rings[i]
+		r.ring = r.ring[:0]
+		r.trackedFrom = e.epoch
+	}
+}
+
 func (d *Design) SetTouchedLogCap(n int) {
 	e := &d.edits
 	if n <= 0 {

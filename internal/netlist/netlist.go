@@ -392,6 +392,7 @@ func (d *Design) Connect(p *Pin, n *Net) {
 		d.noteClock(p.Inst)
 	} else {
 		d.noteStructural(p.Inst)
+		d.noteNetMembers(n, p.ID)
 	}
 }
 
@@ -416,6 +417,40 @@ func (d *Design) Disconnect(p *Pin) {
 		d.noteClock(p.Inst)
 	} else {
 		d.noteStructural(p.Inst)
+		d.noteNetMembers(n, p.ID)
+	}
+}
+
+// noteNetMembers records the registers whose D or Q pins sit on the net
+// (other than the pin driving the edit) as touched. Data-net membership is
+// itself an input to derived per-register state — a register's feasible
+// region can be bounded by the positions of the *other* pins of its D/Q
+// nets — so a pin joining or leaving a net dirties those registers. The
+// record must be made here rather than reconstructed by consumers: the
+// editing instance is often removed right after disconnecting, at which
+// point its former neighbors are unreachable from the edit log alone.
+// Only register data pins are noted: nothing position-derived is cached
+// for other members, and high-fanout control stars (reset, enable,
+// scan-enable) would flood the ring. Clock nets are exempt for the same
+// reason (clock-arrival effects are tracked by the clock epoch).
+func (d *Design) noteNetMembers(n *Net, excl PinID) {
+	note := func(pid PinID) {
+		if pid == excl {
+			return
+		}
+		p := d.pins[pid]
+		if p.Kind != PinData && p.Kind != PinOut {
+			return
+		}
+		if in := d.insts[p.Inst]; in != nil && in.Kind == KindReg {
+			d.noteTouch(p.Inst)
+		}
+	}
+	if n.Driver != NoID {
+		note(n.Driver)
+	}
+	for _, s := range n.Sinks {
+		note(s)
 	}
 }
 
@@ -467,14 +502,25 @@ func (d *Design) Wirelength() (clock, signal int64) {
 	return clock, signal
 }
 
+// NetContrib returns one net's contribution to the design-level metrics:
+// its load capacitance (connected sink pin caps plus routing capacitance
+// estimated from HPWL) and its HPWL, computing the bounding box once. It is
+// the single per-net helper both the batch measurers (cts.Measure,
+// Wirelength) and the retained metric caches (cts.Engine, metrics.Tracker)
+// share, so cached and recomputed values agree bit-for-bit by construction.
+func (d *Design) NetContrib(n *Net) (capFF float64, hpwl int64) {
+	for _, s := range n.Sinks {
+		capFF += d.pins[s].Cap
+	}
+	hpwl = d.NetHPWL(n)
+	return capFF + d.Timing.WireCapPerDBU*float64(hpwl), hpwl
+}
+
 // NetLoadCap returns the total capacitance the net's driver sees: connected
 // sink pin caps plus routing capacitance estimated from HPWL.
 func (d *Design) NetLoadCap(n *Net) float64 {
-	c := 0.0
-	for _, s := range n.Sinks {
-		c += d.pins[s].Cap
-	}
-	return c + d.Timing.WireCapPerDBU*float64(d.NetHPWL(n))
+	c, _ := d.NetContrib(n)
+	return c
 }
 
 // TotalArea sums footprint area over live instances.

@@ -85,7 +85,7 @@ func (e *Engine) markSlackDirty(v int32) {
 
 // runIncremental re-analyzes after the given touched instances' parametric
 // edits, reusing the cached graph.
-func (e *Engine) runIncremental(touched []netlist.InstID) error {
+func (e *Engine) runIncremental(touched []netlist.InstID, seq uint64) error {
 	d, g := e.d, e.g
 	fwd, bwd := e.prepare()
 
@@ -201,7 +201,11 @@ func (e *Engine) runIncremental(touched []netlist.InstID) error {
 		}
 	}
 	for _, v := range e.slackDirty {
-		e.slack[v] = slackOf(e.arr[v], e.req[v])
+		nv := slackOf(e.arr[v], e.req[v])
+		if nv != e.slack[v] {
+			e.slack[v] = nv
+			e.noteSlackPin(v, seq)
+		}
 	}
 
 	e.stats.IncrementalRuns++

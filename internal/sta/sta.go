@@ -116,6 +116,12 @@ type Engine struct {
 	fwdBuckets, bwdBuckets [][]int32
 	slackDirty             []int32
 	stats                  RunStats
+
+	// Changed-slack register feed (see slacklog.go). prevSlack ping-pongs
+	// with slack across full runs so the old values survive the rebuild
+	// long enough to diff.
+	slog      slackLog
+	prevSlack []float64
 }
 
 // New returns an analyzer for the design.
@@ -199,16 +205,18 @@ func (e *Engine) Run() (*Results, error) {
 		}
 	}
 
+	runSeq := e.slog.seq + 1
 	var err error
 	if structural {
-		err = e.runFull()
+		err = e.runFull(runSeq)
 	} else {
-		err = e.runIncremental(touched)
+		err = e.runIncremental(touched, runSeq)
 	}
 	if err != nil {
 		e.valid = false
 		return nil, err
 	}
+	e.slog.seq = runSeq
 	e.cursor = d.Epoch()
 	e.timingSnap = d.Timing
 	e.idealSnap = e.ideal
@@ -218,7 +226,7 @@ func (e *Engine) Run() (*Results, error) {
 
 // runFull rebuilds the graph, seeds and endpoint constraints, then runs
 // the two levelized sweeps over everything.
-func (e *Engine) runFull() error {
+func (e *Engine) runFull(seq uint64) error {
 	d := e.d
 	g, err := buildGraph(d)
 	if err != nil {
@@ -226,6 +234,12 @@ func (e *Engine) runFull() error {
 	}
 	e.g = g
 	n := g.nPins
+	// Keep the previous run's slacks alive for the changed-slack diff; the
+	// buffers ping-pong so resizeFloats below can't clobber the old values.
+	canDiff := e.valid
+	if canDiff {
+		e.prevSlack, e.slack = e.slack, e.prevSlack
+	}
 	e.arr = resizeFloats(e.arr, n)
 	e.req = resizeFloats(e.req, n)
 	e.slack = resizeFloats(e.slack, n)
@@ -279,6 +293,11 @@ func (e *Engine) runFull() error {
 			e.slack[i] = slackOf(e.arr[i], e.req[i])
 		}
 	})
+	if canDiff {
+		e.diffSlackRegs(e.prevSlack, seq)
+	} else {
+		e.slog.reset(seq)
+	}
 	e.stats.FullBuilds++
 	e.stats.LastConePins = 0
 	e.stats.LastKind = "full"
