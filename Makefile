@@ -41,3 +41,4 @@ golden:
 
 fuzz:
 	$(GO) test ./internal/clique -fuzz FuzzEnumerateSubCliques -fuzztime 30s
+	$(GO) test ./internal/route -fuzz FuzzEstimateDeltaEquivalence -fuzztime 30s

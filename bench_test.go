@@ -35,6 +35,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/paperex"
 	"repro/internal/place"
+	"repro/internal/route"
 	"repro/internal/sta"
 )
 
@@ -694,4 +695,56 @@ func BenchmarkCTSMeasure_FullVsCached(b *testing.B) {
 	b.ReportMetric(float64(tCached.Nanoseconds())/n, "cached_ns/measure")
 	b.ReportMetric(float64(tFull.Nanoseconds())/n, "full_ns/measure")
 	b.ReportMetric(float64(tFull)/float64(tCached), "speedup_x")
+}
+
+// BenchmarkRoute_FullVsDelta compares the two ways of refreshing the
+// congestion map after the flow's per-iteration edit volume (≤1% of the
+// registers move): a from-scratch route.Estimate over every net against
+// the retained engine's delta update, which re-contributes only the moved
+// registers' nets. The oracle suite in internal/route proves both paths
+// produce bit-identical maps; the overflow counts are still cross-checked
+// here every iteration, so speedup_x measures cost alone.
+func BenchmarkRoute_FullVsDelta(b *testing.B) {
+	for _, profile := range []string{"D1", "D2"} {
+		b.Run(profile, func(b *testing.B) {
+			gen, err := bench.Generate(profileByName(profile))
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := gen.Design
+			opts := route.DefaultOptions()
+			rt := route.NewEngine(d, opts)
+			rt.Update() // baseline map, so iterations measure only the edits
+
+			rng := rand.New(rand.NewSource(11))
+			var tDelta, tFull time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				regs := d.Registers()
+				wiggleRegs(d, regs, rng, len(regs)/100+1)
+				b.StartTimer()
+
+				t0 := time.Now()
+				delta := rt.OverflowEdges()
+				tDelta += time.Since(t0)
+
+				t0 = time.Now()
+				full := route.Estimate(d, opts).OverflowEdges()
+				tFull += time.Since(t0)
+
+				if delta != full {
+					b.Fatalf("delta overflow %d != batch %d", delta, full)
+				}
+			}
+			b.StopTimer()
+			if st := rt.Stats(); st.Deltas == 0 {
+				b.Fatalf("delta path not exercised: %+v", st)
+			}
+			n := float64(b.N)
+			b.ReportMetric(float64(tDelta.Nanoseconds())/n, "delta_ns/update")
+			b.ReportMetric(float64(tFull.Nanoseconds())/n, "full_ns/update")
+			b.ReportMetric(float64(tFull)/float64(tDelta), "speedup_x")
+		})
+	}
 }

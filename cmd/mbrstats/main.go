@@ -202,14 +202,16 @@ func main() {
 }
 
 // runPasses drives composition passes on the in-memory design, reporting
-// what the retained compatibility-graph and clock-tree engines do on each
-// one.
+// what the retained compatibility-graph, clock-tree and congestion engines
+// do on each one.
 func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgraph.Engine, passes int) {
 	ct := cts.NewEngine(d, cts.DefaultOptions())
 	if err := ct.Attach(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("\ncomposition passes (retained compat + clock-tree engines):\n")
+	rt := route.NewEngine(d, route.DefaultOptions())
+	rt.Update() // baseline estimate, so pass deltas measure only the edits
+	fmt.Printf("\ncomposition passes (retained compat + clock-tree + congestion engines):\n")
 	for p := 1; p <= passes; p++ {
 		res, err := eng.Run()
 		if err != nil {
@@ -257,6 +259,16 @@ func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgr
 		fmt.Printf("  clock network (cached): %d buffers, %.2f pF, %.2f mm (%d metric fallbacks)\n",
 			pm.Buffers, pm.TotalCapFF/1000, float64(pm.WirelengthDBU)/1e6,
 			ts.MetricsFallbacks)
+		overflow := rt.OverflowEdges()
+		rs := rt.Stats()
+		rline := fmt.Sprintf("  route %s: %d overflow edges, %d nets re-contributed, %d grid edges touched",
+			rs.LastKind, overflow, rs.LastNetsDelta, rs.LastTilesTouched)
+		if rs.LastKind == "rebuild" && rs.LastFallback != "" {
+			rline += fmt.Sprintf(" (fallback: %s)", rs.LastFallback)
+		}
+		fmt.Println(rline)
+		fmt.Printf("  route phases: delta %.2f ms, rebuild %.2f ms\n",
+			float64(rs.LastDeltaNS)/1e6, float64(rs.LastRebuildNS)/1e6)
 		if len(cres.MBRs) == 0 {
 			fmt.Printf("  converged after %d passes (delta/rebuild decisions: %d/%d)\n",
 				p, cs.Deltas, cs.Rebuilds)
@@ -265,9 +277,11 @@ func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgr
 	}
 	cs := cg.Stats()
 	ts := ct.Stats()
-	fmt.Printf("  totals: compat %d updates (%d delta, %d full); cts %d updates (%d delta, %d rebuilds, %d clean)\n",
+	rs := rt.Stats()
+	fmt.Printf("  totals: compat %d updates (%d delta, %d full); cts %d updates (%d delta, %d rebuilds, %d clean); route %d updates (%d delta, %d rebuilds, %d clean)\n",
 		cs.Updates, cs.Deltas, cs.Rebuilds,
-		ts.Updates, ts.Deltas, ts.Rebuilds, ts.Cleans)
+		ts.Updates, ts.Deltas, ts.Rebuilds, ts.Cleans,
+		rs.Updates, rs.Deltas, rs.Rebuilds, rs.Cleans)
 }
 
 func fatal(err error) {

@@ -138,6 +138,12 @@ type node struct {
 	// bit-identical to a fresh Build.
 	memberPins []netlist.PinID
 	centroid   geom.Point
+	// legalPos is where the last shared legalization pass left the buffer.
+	// Every update moves buffers to their plan centroids and re-legalizes;
+	// a node whose plan did not change lands back on the same site, so
+	// comparing against legalPos (not the centroid) tells the metrics cache
+	// whether the buffer really moved.
+	legalPos geom.Point
 }
 
 // namer produces the buffer and net names for freshly realized clusters.

@@ -141,10 +141,14 @@ type domain struct {
 	root   *netlist.Net
 	levels [][]*node
 	// Cached per-tree metrics (metrics.go): the root's and tree nets'
-	// contributions plus the domain's register-sink count. mValid is
-	// cleared whenever the domain's update path runs (every non-clean
-	// Update re-plans and re-legalizes, so any net or buffer may have
-	// moved) and set again by the next Metrics refresh.
+	// contributions plus the domain's register-sink count. Invalidation is
+	// keyed per domain: an update clears mValid only when the domain
+	// contained a touched sink (dirtySinkDomains), when its repair actually
+	// mutated the tree (membership rewires, buffer churn, centroid moves —
+	// the safety net for removed sinks the rings can no longer resolve), or
+	// when the shared legalization pass displaced one of its buffers.
+	// Untouched domains keep their cached values across updates. mValid is
+	// set again by the next Metrics refresh.
 	mValid bool
 	mNets  []netMetric
 	mSinks int
@@ -321,10 +325,11 @@ func (e *Engine) Update() error {
 	if e.rootSetChanged() {
 		return e.rebuild("clock-roots-changed")
 	}
+	dirty, dirtyOK := e.dirtySinkDomains()
 	var err error
 	e.d.WithEditClass(netlist.EditClassCTS, func() {
 		for _, dom := range e.domains {
-			if err = e.updateDomain(dom); err != nil {
+			if err = e.updateDomain(dom, !dirtyOK || dirty[dom]); err != nil {
 				return
 			}
 		}
@@ -439,6 +444,44 @@ func (e *Engine) ReleaseClocks(regs []*netlist.Inst) {
 	})
 }
 
+// dirtySinkDomains maps the instances touched since the last sync to the
+// retained domains whose cached metrics they can have dirtied: a touched
+// live instance dirties every domain owning (or rooting) a net its pins
+// sit on — a moved or resized register changes its leaf net's HPWL and cap
+// without any tree mutation, so touched-sink detection cannot be replaced
+// by mutation tracking. Removed instances are unresolvable here (their
+// nets are gone from the edit record); they are covered by updateDomain's
+// mutation tracking, because losing a sink always rewires its cluster.
+// ok is false when a ring overflowed and every domain must be presumed
+// dirty.
+func (e *Engine) dirtySinkDomains() (dirty map[*domain]bool, ok bool) {
+	flow, flowOK := e.d.TouchedSinceClass(e.cursor, netlist.EditClassFlow)
+	ctsT, ctsOK := e.d.TouchedSinceClass(e.cursor, netlist.EditClassCTS)
+	if !flowOK || !ctsOK {
+		return nil, false
+	}
+	dirty = map[*domain]bool{}
+	var buf []netlist.NetID
+	mark := func(ids []netlist.InstID) {
+		for _, id := range ids {
+			if e.ownBuf[id] {
+				continue // engine buffers are handled by mutation tracking
+			}
+			buf = e.d.InstNets(id, false, buf[:0])
+			for _, nid := range buf {
+				if dom := e.ownNet[nid]; dom != nil {
+					dirty[dom] = true
+				} else if dom := e.rootOf[nid]; dom != nil {
+					dirty[dom] = true
+				}
+			}
+		}
+	}
+	mark(flow)
+	mark(ctsT)
+	return dirty, true
+}
+
 // rootSetChanged reports whether a clock net outside the retained domains
 // has acquired real sinks — a new domain the delta path cannot grow.
 func (e *Engine) rootSetChanged() bool {
@@ -547,6 +590,21 @@ func (e *Engine) relegalize() {
 	}
 	e.legCursor = e.d.Epoch()
 	e.leg.Legalize(bufs)
+	// Legalization is one shared pass over all domains' buffers competing
+	// for the same sites: repairing one domain can displace another's
+	// buffer. A node whose plan did not change went centroid→legalize back
+	// to its previous site, so comparing against the last legalized
+	// position invalidates exactly the domains whose buffers really moved.
+	for _, dom := range e.domains {
+		for _, lvl := range dom.levels {
+			for _, nd := range lvl {
+				if nd.buf.Pos != nd.legalPos {
+					dom.mValid = false
+					nd.legalPos = nd.buf.Pos
+				}
+			}
+		}
+	}
 }
 
 // sinksKey is a canonical (order-independent) fingerprint of a pin-ID set,
@@ -567,12 +625,19 @@ func sinksKey(ids []netlist.PinID) string {
 }
 
 // updateDomain repairs one domain's tree to equal a fresh Build of its
-// current sink set.
-func (e *Engine) updateDomain(dom *domain) error {
+// current sink set. sinkDirty reports that the edit record placed a
+// touched instance on one of the domain's nets; together with the repair's
+// own mutation tracking it decides whether the domain's metrics cache
+// survives the update (legalization displacement is checked separately in
+// relegalize).
+func (e *Engine) updateDomain(dom *domain, sinkDirty bool) error {
 	d := e.d
-	// Any repair (or legalize pass after it) may move nets and buffers;
-	// the per-tree metrics cache is refreshed lazily by the next Metrics.
-	dom.mValid = false
+	mutated := false
+	defer func() {
+		if sinkDirty || mutated {
+			dom.mValid = false
+		}
+	}()
 	// 1. Collect the current real sinks: non-engine pins on the root or on
 	// any tree net (new sinks land on the root via ReleaseClocks/merging,
 	// or on a leaf net via register splitting), in canonical order.
@@ -598,6 +663,7 @@ func (e *Engine) updateDomain(dom *domain) error {
 	}
 	if len(ids) == 0 {
 		// Domain went sink-less: a fresh build would build nothing.
+		mutated = len(retained) > 0
 		e.removeNodes(retained)
 		e.stats.LastBuffersRemoved += len(retained)
 		e.stats.BuffersRemoved += len(retained)
@@ -678,6 +744,7 @@ func (e *Engine) updateDomain(dom *domain) error {
 				e.ownNet[net.ID] = dom
 				e.stats.LastBuffersAdded++
 				e.stats.BuffersAdded++
+				mutated = true
 			}
 			assigned[l][ci] = nd
 			used[nd] = true
@@ -694,9 +761,16 @@ func (e *Engine) updateDomain(dom *domain) error {
 			want := desired(l, ci)
 			if nd.buf.Pos != cl.centroid {
 				d.MoveInst(nd.buf, cl.centroid)
+				// Moving back to an unchanged centroid is the normal
+				// centroid→legalize round trip, not a mutation; relegalize
+				// detects real displacement against legalPos.
+				if nd.centroid != cl.centroid {
+					mutated = true
+				}
 			}
 			nd.centroid = cl.centroid
 			if !pinIDsEqual(nd.net.Sinks, want) {
+				mutated = true
 				for len(nd.net.Sinks) > 0 {
 					d.Disconnect(d.Pin(nd.net.Sinks[len(nd.net.Sinks)-1]))
 				}
@@ -731,12 +805,14 @@ func (e *Engine) updateDomain(dom *domain) error {
 		e.removeNodes(doomed)
 		e.stats.LastBuffersRemoved += len(doomed)
 		e.stats.BuffersRemoved += len(doomed)
+		mutated = true
 	}
 
 	// 5. The root net's only sink is the top buffer's input.
 	top := assigned[len(assigned)-1][0]
 	if tp := inPin(d, top.buf); tp.Net != dom.root.ID {
 		d.Connect(tp, dom.root)
+		mutated = true
 	}
 	dom.levels = assigned
 	return nil

@@ -458,3 +458,71 @@ func TestInvalidateRestoresAndReattaches(t *testing.T) {
 		tr.Remove()
 	}
 }
+
+// TestPerDomainMetricInvalidation pins the per-domain keying of the
+// metrics cache: an edit that touches sinks of one clock domain must not
+// cost the other domains their cached values — only the touched domain
+// (plus any domain whose buffers the shared legalization pass displaced)
+// may be recomputed on the next Metrics call, and the cached result must
+// still equal the batch Measure bit-for-bit.
+func TestPerDomainMetricInvalidation(t *testing.T) {
+	b := genProfile(t, "D1")
+	d := b.Design
+	eng := cts.NewEngine(d, cts.DefaultOptions())
+	if err := eng.Attach(); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	// The first Metrics refreshes every domain once: its recompute count is
+	// the domain total.
+	if got, want := eng.Metrics(), cts.Measure(d); got != want {
+		t.Fatalf("baseline metrics %+v != Measure %+v", got, want)
+	}
+	domains := eng.Stats().MetricsDomainsRecomputed
+	if domains < 3 {
+		t.Fatalf("profile too small for the per-domain claim: %d domains", domains)
+	}
+
+	// A clean update must not invalidate anything.
+	if err := eng.Update(); err != nil {
+		t.Fatalf("clean update: %v", err)
+	}
+	if got, want := eng.Metrics(), cts.Measure(d); got != want {
+		t.Fatalf("post-clean metrics %+v != Measure %+v", got, want)
+	}
+	if n := eng.Stats().MetricsDomainsRecomputed; n != domains {
+		t.Fatalf("clean update recomputed %d domains", n-domains)
+	}
+
+	// Move one clocked register: only its domain (and at most a legalizer
+	// neighbour) may be recomputed; the untouched domains must keep their
+	// cached values — which the bit-exact equality with Measure proves are
+	// still right.
+	for round := 0; round < 3; round++ {
+		var r *netlist.Inst
+		for _, c := range d.Registers() {
+			if !c.Fixed && d.ClockPin(c) != nil && d.ClockPin(c).Net != netlist.NoID {
+				r = c
+				break
+			}
+		}
+		if r == nil {
+			t.Fatal("no movable clocked register")
+		}
+		before := eng.Stats().MetricsDomainsRecomputed
+		d.MoveInst(r, geom.Point{X: r.Pos.X + 700, Y: r.Pos.Y + 700})
+		if err := eng.Update(); err != nil {
+			t.Fatalf("round %d: update: %v", round, err)
+		}
+		if got, want := eng.Metrics(), cts.Measure(d); got != want {
+			t.Fatalf("round %d: metrics %+v != Measure %+v", round, got, want)
+		}
+		recomputed := eng.Stats().MetricsDomainsRecomputed - before
+		if recomputed == 0 {
+			t.Fatalf("round %d: touched domain kept a stale cache", round)
+		}
+		if recomputed >= domains {
+			t.Fatalf("round %d: single-domain edit recomputed %d of %d domains — invalidation is not per-domain",
+				round, recomputed, domains)
+		}
+	}
+}

@@ -4,9 +4,10 @@
 // sizing → CTS update, and measure again. Its Report holds one Table 1
 // row pair (Base / Ours).
 //
-// Three retained engines carry state across the whole run behind the
-// shared engine.Retained contract: the incremental STA engine, the
-// compatibility-graph engine, and the clock-tree engine. The clock tree is
+// The retained engines carry state across the whole run behind the shared
+// engine.Retained contract: the incremental STA engine, the
+// compatibility-graph engine, the clock-tree engine, the design-aggregate
+// tracker and the congestion engine. The clock tree is
 // attached once for the Base measurement and then delta-maintained — never
 // torn down and rebuilt between measurements. Its edits are scoped to the
 // netlist's CTS edit class, so tree churn cannot evict the flow-class
@@ -77,16 +78,26 @@ type CTSConfig struct {
 	Workers int
 }
 
+// RouteConfig groups the retained congestion engine's options.
+type RouteConfig struct {
+	// Est holds the G-cell pitch, edge capacities and clock-net inclusion
+	// the congestion map is estimated with.
+	Est route.Options
+	// Workers bounds the rebuild-path net-walk fan-out (0 = inherit
+	// Config.Workers).
+	Workers int
+}
+
 // Config selects the flow options.
 type Config struct {
 	Compose core.Options
-	// STA, Compat and CTS configure the three retained engines. Each
+	// STA, Compat, CTS and Route configure the retained engines. Each
 	// group's Workers overrides the global Config.Workers for that engine
 	// only.
 	STA    STAConfig
 	Compat CompatConfig
 	CTS    CTSConfig
-	Route  route.Options
+	Route  RouteConfig
 	// UsefulSkew applies per-MBR useful clock skew after composition
 	// (Fig. 4).
 	UsefulSkew bool
@@ -130,7 +141,7 @@ func DefaultConfig() Config {
 		Compose:            core.DefaultOptions(),
 		Compat:             CompatConfig{Rules: compat.DefaultOptions()},
 		CTS:                CTSConfig{Tree: cts.DefaultOptions()},
-		Route:              route.DefaultOptions(),
+		Route:              RouteConfig{Est: route.DefaultOptions()},
 		UsefulSkew:         true,
 		UsefulSkewWindowPS: 150,
 		Sizing:             true,
@@ -159,8 +170,11 @@ type Report struct {
 	// MetricsStats accounts for the retained design-aggregate tracker the
 	// measurement points read instead of walking the whole design.
 	MetricsStats metrics.Stats
+	// RouteStats accounts for the retained congestion engine (delta vs
+	// rebuild decisions, re-contributed nets, touched grid edges).
+	RouteStats route.Stats
 	// Engines is the uniform engine.Retained contract view of the retained
-	// engines, keyed "sta", "compat", "cts", "metrics".
+	// engines, keyed "sta", "compat", "cts", "metrics", "route".
 	Engines map[string]engine.Summary
 	// SkewedMBRs and ResizedMBRs count the post-composition optimizations.
 	SkewedMBRs  int
@@ -177,7 +191,7 @@ type Report struct {
 	TotalTime time.Duration
 }
 
-// engines bundles the flow's three retained engines. Each satisfies the
+// engines bundles the flow's retained engines. Each satisfies the
 // engine.Retained contract; the flow drives them through this one struct so
 // every stage sees the same instances and their stats survive to the
 // Report.
@@ -188,6 +202,9 @@ type engines struct {
 	// met retains the design-level report aggregates (cells, registers,
 	// area, signal wirelength) so measure never walks the whole design.
 	met *metrics.Tracker
+	// rt retains the G-cell congestion map so measure's overflow-edge count
+	// is served by per-net demand deltas, not a full re-estimate.
+	rt *route.Engine
 }
 
 // pickWorkers resolves a per-engine worker override against the global
@@ -208,8 +225,10 @@ func newEngines(d *netlist.Design, plan *scan.Plan, cfg Config) *engines {
 		}),
 		cts: cts.NewEngine(d, cfg.CTS.Tree),
 		met: metrics.New(d),
+		rt:  route.NewEngine(d, cfg.Route.Est),
 	}
 	e.sta.SetWorkers(pickWorkers(cfg.STA.Workers, cfg.Workers))
+	e.rt.SetWorkers(pickWorkers(cfg.Route.Workers, cfg.Workers))
 	// The compat node phase consumes the STA engine's changed-slack feed;
 	// every cg.Update in the flow passes that engine's latest snapshot.
 	e.cg.SetTimingFeed(e.sta)
@@ -221,13 +240,14 @@ func newEngines(d *netlist.Design, plan *scan.Plan, cfg Config) *engines {
 	return e
 }
 
-// summaries is the uniform contract view of the three engines.
+// summaries is the uniform contract view of the retained engines.
 func (e *engines) summaries() map[string]engine.Summary {
 	return map[string]engine.Summary{
 		"sta":     e.sta.Summary(),
 		"compat":  e.cg.Summary(),
 		"cts":     e.cts.Summary(),
 		"metrics": e.met.Summary(),
+		"route":   e.rt.Summary(),
 	}
 }
 
@@ -388,6 +408,7 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	rep.STAStats = eng.Stats()
 	rep.CTSStats = engs.cts.Stats()
 	rep.MetricsStats = engs.met.Stats()
+	rep.RouteStats = engs.rt.Stats()
 	rep.Engines = engs.summaries()
 	rep.TotalTime = time.Since(t0)
 	return rep, nil
@@ -395,13 +416,13 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 
 // measure snapshots the Table 1 metrics of the design's current state. It
 // reads only retained layers — the STA engine, the compat engine, the CTS
-// engine's cached tree metrics and the design-aggregate tracker — so a
-// measurement after k edits costs O(k), not O(design). Every retained
-// value equals its batch oracle bit-for-bit (cts.Metrics vs cts.Measure,
-// metrics.Tracker vs the netlist walks), which keeps reports
-// byte-identical with the former batch measurement. route.Estimate is the
-// one remaining full-design pass: congestion is a global map by nature and
-// is rebuilt per measurement.
+// engine's cached tree metrics, the design-aggregate tracker and the
+// congestion engine's maintained overflow count — so a measurement after k
+// edits costs O(k), not O(design): no stage walks the full design on the
+// delta path. Every retained value equals its batch oracle bit-for-bit
+// (cts.Metrics vs cts.Measure, metrics.Tracker vs the netlist walks,
+// route.Engine vs route.Estimate), which keeps reports byte-identical with
+// the former batch measurement.
 func measure(d *netlist.Design, engs *engines, cfg Config) (Metrics, error) {
 	res, err := engs.sta.Run()
 	if err != nil {
@@ -409,7 +430,7 @@ func measure(d *netlist.Design, engs *engines, cfg Config) (Metrics, error) {
 	}
 	g := engs.cg.Update(res)
 	cm := engs.cts.Metrics()
-	congestion := route.Estimate(d, cfg.Route)
+	overflow := engs.rt.OverflowEdges()
 	dm := engs.met.Aggregates()
 
 	return Metrics{
@@ -423,7 +444,7 @@ func measure(d *netlist.Design, engs *engines, cfg Config) (Metrics, error) {
 		WNSPS:            res.WNS,
 		FailingEndpoints: res.FailingEndpoints,
 		TotalEndpoints:   res.TotalEndpoints,
-		OverflowEdges:    congestion.OverflowEdges(),
+		OverflowEdges:    overflow,
 		WLClkMM:          float64(cm.WirelengthDBU) / 1e6,
 		WLSigMM:          float64(dm.SignalWLDBU) / 1e6,
 	}, nil

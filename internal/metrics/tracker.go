@@ -184,31 +184,7 @@ func (t *Tracker) Sync() {
 // signalNets returns the deduplicated live signal nets of the instance's
 // pins, appended to buf. A nil or dead instance has none.
 func (t *Tracker) signalNets(id netlist.InstID, buf []netlist.NetID) []netlist.NetID {
-	in := t.d.Inst(id)
-	if in == nil {
-		return buf
-	}
-	for _, pid := range in.Pins {
-		p := t.d.Pin(pid)
-		if p.Net == netlist.NoID {
-			continue
-		}
-		n := t.d.Net(p.Net)
-		if n == nil || n.IsClock {
-			continue
-		}
-		dup := false
-		for _, have := range buf {
-			if have == n.ID {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			buf = append(buf, n.ID)
-		}
-	}
-	return buf
+	return t.d.InstNets(id, true, buf)
 }
 
 // syncInst replaces one instance's snapshot, folding the contribution

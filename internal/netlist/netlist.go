@@ -454,6 +454,40 @@ func (d *Design) noteNetMembers(n *Net, excl PinID) {
 	}
 }
 
+// InstNets returns the deduplicated live nets the instance's pins are
+// connected to, appended to buf; signalOnly skips clock nets. A nil or
+// removed instance has none. Incremental consumers (metrics.Tracker,
+// route.Engine) snapshot this per instance so an edit can be mapped to
+// exactly the nets whose geometry it may have changed — the nets the
+// instance was on at the last sync plus the nets it is on now.
+func (d *Design) InstNets(id InstID, signalOnly bool, buf []NetID) []NetID {
+	in := d.Inst(id)
+	if in == nil {
+		return buf
+	}
+	for _, pid := range in.Pins {
+		p := d.pins[pid]
+		if p.Net == NoID {
+			continue
+		}
+		n := d.nets[p.Net]
+		if n.dead || (signalOnly && n.IsClock) {
+			continue
+		}
+		dup := false
+		for _, have := range buf {
+			if have == n.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, n.ID)
+		}
+	}
+	return buf
+}
+
 // PinPos returns the absolute position of a pin.
 func (d *Design) PinPos(p *Pin) geom.Point {
 	in := d.insts[p.Inst]

@@ -6,11 +6,19 @@
 // Each net contributes expected horizontal and vertical track demand spread
 // uniformly over its bounding box; an edge whose demand exceeds its
 // capacity is an overflow edge.
+//
+// Demand is accumulated in fixed-point (scaled int64, demandUnit units per
+// track) and materialized to float64 only at the edges of the package. That
+// makes per-net contributions exactly invertible — integer adds commute and
+// subtract cleanly — which is what lets the retained Engine maintain the
+// map by per-net deltas, and a parallel rebuild merge per-worker partial
+// sums, while staying bit-identical to the sequential batch Estimate.
 package route
 
 import (
 	"math"
 
+	"repro/internal/geom"
 	"repro/internal/netlist"
 )
 
@@ -29,6 +37,11 @@ func DefaultOptions() Options {
 	return Options{GCell: 4800, HCap: 12, VCap: 10, IncludeClock: true}
 }
 
+// demandUnit is the fixed-point scale: one routing track of demand is
+// demandUnit integer units. 2^20 keeps quantization error per net below
+// 1e-6 tracks while leaving 2^43 tracks of headroom before int64 overflow.
+const demandUnit = 1 << 20
+
 // Map is a computed congestion map. Horizontal edges connect (x,y)→(x+1,y)
 // and are indexed [y*(nx-1)+x]; vertical edges connect (x,y)→(x,y+1) and
 // are indexed [y*nx+x] with y < ny-1.
@@ -40,86 +53,167 @@ type Map struct {
 	VCap    float64
 }
 
-// Estimate computes the congestion map of the design's current placement.
-func Estimate(d *netlist.Design, opts Options) *Map {
-	if opts.GCell <= 0 {
-		opts = DefaultOptions()
-	}
-	nx := int(d.Core.W()/opts.GCell) + 1
-	ny := int(d.Core.H()/opts.GCell) + 1
+// grid is the G-cell discretization of a core area.
+type grid struct {
+	nx, ny int
+	lo     geom.Point
+	gcell  int64
+}
+
+// gridFor builds the grid covering core at the options' G-cell pitch.
+// Degenerate cores still get at least a 2×2 grid so every map has at least
+// one H and one V edge per row/column.
+func gridFor(core geom.Rect, opts Options) grid {
+	nx := int(core.W()/opts.GCell) + 1
+	ny := int(core.H()/opts.GCell) + 1
 	if nx < 2 {
 		nx = 2
 	}
 	if ny < 2 {
 		ny = 2
 	}
-	m := &Map{
-		NX: nx, NY: ny,
-		HDemand: make([]float64, (nx-1)*ny),
-		VDemand: make([]float64, nx*(ny-1)),
-		HCap:    opts.HCap, VCap: opts.VCap,
-	}
-	gx := func(x int64) int {
-		g := int((x - d.Core.Lo.X) / opts.GCell)
-		if g < 0 {
-			g = 0
-		}
-		if g >= nx {
-			g = nx - 1
-		}
-		return g
-	}
-	gy := func(y int64) int {
-		g := int((y - d.Core.Lo.Y) / opts.GCell)
-		if g < 0 {
-			g = 0
-		}
-		if g >= ny {
-			g = ny - 1
-		}
-		return g
-	}
+	return grid{nx: nx, ny: ny, lo: core.Lo, gcell: opts.GCell}
+}
 
+// gx maps an x coordinate to its G-cell column, clamped to [0, nx-1] for
+// points on or outside the core boundary.
+func (g grid) gx(x int64) int {
+	c := int((x - g.lo.X) / g.gcell)
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.nx {
+		c = g.nx - 1
+	}
+	return c
+}
+
+// gy maps a y coordinate to its G-cell row, clamped to [0, ny-1].
+func (g grid) gy(y int64) int {
+	r := int((y - g.lo.Y) / g.gcell)
+	if r < 0 {
+		r = 0
+	}
+	if r >= g.ny {
+		r = g.ny - 1
+	}
+	return r
+}
+
+// hEdges and vEdges are the edge-array lengths for the grid.
+func (g grid) hEdges() int { return (g.nx - 1) * g.ny }
+func (g grid) vEdges() int { return g.nx * (g.ny - 1) }
+
+// contrib is one net's demand contribution: wh fixed-point units on every
+// H edge of rows y0..y1, columns x0..x1-1, and wv units on every V edge of
+// columns x0..x1, rows y0..y1-1. A zero contrib (wh == wv == 0) is inert.
+type contrib struct {
+	x0, x1, y0, y1 int
+	wh, wv         int64
+}
+
+// netContribution computes the net's contribution on grid g. ok is false
+// for nets that contribute nothing: clock nets when excluded, nets with
+// fewer than two pins, and nets with no connected pins.
+func netContribution(d *netlist.Design, n *netlist.Net, opts Options, g grid) (contrib, bool) {
+	if n.IsClock && !opts.IncludeClock {
+		return contrib{}, false
+	}
+	bb, ok := d.NetBBox(n)
+	if !ok {
+		return contrib{}, false
+	}
+	npins := len(n.Sinks)
+	if n.Driver != netlist.NoID {
+		npins++
+	}
+	if npins < 2 {
+		return contrib{}, false
+	}
+	c := contrib{
+		x0: g.gx(bb.Lo.X), x1: g.gx(bb.Hi.X),
+		y0: g.gy(bb.Lo.Y), y1: g.gy(bb.Hi.Y),
+	}
+	// Expected wire usage for a multi-pin net scales with pin count:
+	// the RSMT-over-HPWL correction factor (Chu's HPWL scaling).
+	q := hpwlScale(npins)
+	// Horizontal demand: q track-crossings per column of the bbox, spread
+	// uniformly over the rows it spans (and symmetrically for vertical).
+	if c.x1 > c.x0 {
+		c.wh = int64(math.Round(q / float64(c.y1-c.y0+1) * demandUnit))
+	}
+	if c.y1 > c.y0 {
+		c.wv = int64(math.Round(q / float64(c.x1-c.x0+1) * demandUnit))
+	}
+	return c, true
+}
+
+// addTo folds the contribution into scaled demand arrays with the given
+// sign (+1 to apply, -1 to retract).
+func (c contrib) addTo(hDem, vDem []int64, nx int, sign int64) {
+	if c.wh != 0 {
+		w := sign * c.wh
+		for y := c.y0; y <= c.y1; y++ {
+			row := hDem[y*(nx-1)+c.x0 : y*(nx-1)+c.x1]
+			for i := range row {
+				row[i] += w
+			}
+		}
+	}
+	if c.wv != 0 {
+		w := sign * c.wv
+		for x := c.x0; x <= c.x1; x++ {
+			for y := c.y0; y < c.y1; y++ {
+				vDem[y*nx+x] += w
+			}
+		}
+	}
+}
+
+// estimateScaled computes the fixed-point demand arrays with one walk over
+// the design's live nets.
+func estimateScaled(d *netlist.Design, opts Options, g grid) (hDem, vDem []int64) {
+	hDem = make([]int64, g.hEdges())
+	vDem = make([]int64, g.vEdges())
 	d.Nets(func(n *netlist.Net) {
-		if n.IsClock && !opts.IncludeClock {
-			return
-		}
-		bb, ok := d.NetBBox(n)
-		if !ok {
-			return
-		}
-		npins := len(n.Sinks)
-		if n.Driver != netlist.NoID {
-			npins++
-		}
-		if npins < 2 {
-			return
-		}
-		x0, x1 := gx(bb.Lo.X), gx(bb.Hi.X)
-		y0, y1 := gy(bb.Lo.Y), gy(bb.Hi.Y)
-		// Expected wire usage for a multi-pin net scales with pin count:
-		// the RSMT-over-HPWL correction factor (Chu's HPWL scaling).
-		q := hpwlScale(npins)
-		// Horizontal demand: q track-crossings per column of the bbox,
-		// spread uniformly over the rows it spans.
-		if x1 > x0 {
-			rows := float64(y1 - y0 + 1)
-			for y := y0; y <= y1; y++ {
-				for x := x0; x < x1; x++ {
-					m.HDemand[y*(nx-1)+x] += q / rows
-				}
-			}
-		}
-		if y1 > y0 {
-			cols := float64(x1 - x0 + 1)
-			for x := x0; x <= x1; x++ {
-				for y := y0; y < y1; y++ {
-					m.VDemand[y*nx+x] += q / cols
-				}
-			}
+		if c, ok := netContribution(d, n, opts, g); ok {
+			c.addTo(hDem, vDem, g.nx, 1)
 		}
 	})
+	return hDem, vDem
+}
+
+// toTracks materializes a fixed-point demand value as float64 tracks. Exact
+// for any realistic map (sums below 2^53 units).
+func toTracks(v int64) float64 { return float64(v) / demandUnit }
+
+// materialize converts scaled demand arrays into a Map.
+func materialize(g grid, hDem, vDem []int64, opts Options) *Map {
+	m := &Map{
+		NX: g.nx, NY: g.ny,
+		HDemand: make([]float64, len(hDem)),
+		VDemand: make([]float64, len(vDem)),
+		HCap:    opts.HCap, VCap: opts.VCap,
+	}
+	for i, v := range hDem {
+		m.HDemand[i] = toTracks(v)
+	}
+	for i, v := range vDem {
+		m.VDemand[i] = toTracks(v)
+	}
 	return m
+}
+
+// Estimate computes the congestion map of the design's current placement
+// with one full walk over the nets. It is the batch oracle the retained
+// Engine falls back to and is tested against.
+func Estimate(d *netlist.Design, opts Options) *Map {
+	if opts.GCell <= 0 {
+		opts = DefaultOptions()
+	}
+	g := gridFor(d.Core, opts)
+	hDem, vDem := estimateScaled(d, opts, g)
+	return materialize(g, hDem, vDem, opts)
 }
 
 // hpwlScale is the expected ratio of rectilinear Steiner tree length to
