@@ -42,3 +42,4 @@ golden:
 fuzz:
 	$(GO) test ./internal/clique -fuzz FuzzEnumerateSubCliques -fuzztime 30s
 	$(GO) test ./internal/route -fuzz FuzzEstimateDeltaEquivalence -fuzztime 30s
+	$(GO) test ./internal/ilp -fuzz FuzzSolveCoverWarmStart -fuzztime 30s

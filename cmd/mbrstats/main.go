@@ -5,9 +5,12 @@
 // -passes N additionally runs N composition passes on the in-memory copy
 // and reports, per pass, what the retained incremental compatibility-graph
 // engine did (node/edge counts, connected components, delta-vs-rebuild
-// decision, edges re-tested) and what the retained clock-tree engine did
-// to fold the merges into its live trees (re-clustered leaves, repaired
-// ancestors, buffer churn, fallback reason).
+// decision, edges re-tested), what the retained compose engine did
+// (subgraphs replayed from the solve memo vs solved fresh, truncated
+// subgraphs, branch & bound nodes saved, warm-start and root-tightening
+// activity), and what the retained clock-tree engine did to fold the
+// merges into its live trees (re-clustered leaves, repaired ancestors,
+// buffer churn, fallback reason).
 //
 //	mbrstats -profile D1
 //	mbrstats -profile D1 -passes 3
@@ -211,14 +214,15 @@ func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgr
 	}
 	rt := route.NewEngine(d, route.DefaultOptions())
 	rt.Update() // baseline estimate, so pass deltas measure only the edits
-	fmt.Printf("\ncomposition passes (retained compat + clock-tree + congestion engines):\n")
+	ce := core.NewEngine(d)
+	fmt.Printf("\ncomposition passes (retained compat + compose + clock-tree + congestion engines):\n")
 	for p := 1; p <= passes; p++ {
 		res, err := eng.Run()
 		if err != nil {
 			fatal(err)
 		}
 		g := cg.Update(res)
-		subs := cg.Subgraphs(30)
+		subs, hints := cg.SubgraphsHinted(30)
 		cs := cg.Stats()
 		fmt.Printf("pass %d: %d nodes, %d edges, %d components (%d splits reused)\n",
 			p, cs.LastNodes, cs.LastEdges, cs.LastComponents, cs.LastComponentsReused)
@@ -234,12 +238,26 @@ func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgr
 		opts := core.DefaultOptions()
 		opts.NamePrefix = fmt.Sprintf("mbrp%d", p)
 		opts.ReleaseClocks = ct.ReleaseClocks
-		cres, err := core.ComposeWith(d, g, plan, subs, opts)
+		esBefore := ce.Stats()
+		cres, err := ce.Compose(g, plan, subs, hints, opts)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("  composed: %d MBRs, registers %d -> %d\n",
-			len(cres.MBRs), cres.RegsBefore, cres.RegsAfter)
+		es := ce.Stats()
+		fmt.Printf("  composed: %d MBRs, registers %d -> %d (%d truncated subgraphs)\n",
+			len(cres.MBRs), cres.RegsBefore, cres.RegsAfter, cres.TruncatedSubgraphs)
+		fmt.Printf("  compose %s: %d subgraphs replayed, %d solved fresh, %d B&B nodes saved (hints %d clean, %d missed)\n",
+			ce.Summary().LastKind,
+			es.SubgraphsReused-esBefore.SubgraphsReused,
+			es.SubgraphsSolved-esBefore.SubgraphsSolved,
+			es.ILPNodesSaved-esBefore.ILPNodesSaved,
+			es.HintedClean-esBefore.HintedClean,
+			es.HintMisses-esBefore.HintMisses)
+		fmt.Printf("  compose warm: %d seeded, %d accepted, %d retried; %d columns tighten-pruned\n",
+			es.WarmSeeded-esBefore.WarmSeeded,
+			es.WarmAccepted-esBefore.WarmAccepted,
+			es.WarmRetried-esBefore.WarmRetried,
+			es.TightenPruned-esBefore.TightenPruned)
 		if err := ct.Update(); err != nil {
 			fatal(err)
 		}
@@ -278,8 +296,10 @@ func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgr
 	cs := cg.Stats()
 	ts := ct.Stats()
 	rs := rt.Stats()
-	fmt.Printf("  totals: compat %d updates (%d delta, %d full); cts %d updates (%d delta, %d rebuilds, %d clean); route %d updates (%d delta, %d rebuilds, %d clean)\n",
+	es := ce.Stats()
+	fmt.Printf("  totals: compat %d updates (%d delta, %d full); compose %d rounds (%d/%d subgraphs replayed, %d nodes saved); cts %d updates (%d delta, %d rebuilds, %d clean); route %d updates (%d delta, %d rebuilds, %d clean)\n",
 		cs.Updates, cs.Deltas, cs.Rebuilds,
+		es.Rounds, es.SubgraphsReused, es.SubgraphsSeen, es.ILPNodesSaved,
 		ts.Updates, ts.Deltas, ts.Rebuilds, ts.Cleans,
 		rs.Updates, rs.Deltas, rs.Rebuilds, rs.Cleans)
 }

@@ -175,6 +175,10 @@ type Engine struct {
 	sigsArr  []compat.StaticSig
 	ordOf    map[netlist.InstID]int
 	stats    Stats
+	// lastDirty names the registers whose node data (info or signature)
+	// changed in the last Update — the dirty-subgraph feed SubgraphsHinted
+	// folds into its per-subgraph clean hints.
+	lastDirty map[netlist.InstID]bool
 }
 
 // New creates an engine over a design and scan plan (plan may be nil). The
@@ -331,6 +335,10 @@ func (e *Engine) Update(res *sta.Results) *compat.Graph {
 
 	if ns.excluded != nil {
 		e.excluded = ns.excluded
+	}
+	e.lastDirty = make(map[netlist.InstID]bool, len(ns.dirtyOrd))
+	for _, i := range ns.dirtyOrd {
+		e.lastDirty[ns.order[i]] = true
 	}
 	e.setOrder(ns.order, ns.infos, ns.sigs)
 	e.valid = true
@@ -595,6 +603,33 @@ func (e *Engine) Subgraphs(maxNodes int) [][]int {
 	e.stats.LastComponents = ps.Components
 	e.stats.LastComponentsReused = ps.Reused
 	return out
+}
+
+// SubgraphsHinted is Subgraphs plus a per-subgraph clean hint: true when
+// the subgraph's component replayed from the partition cache (members,
+// order and clock positions unchanged) and none of its members' node data
+// changed in the last Update. The hints are advisory — the retained
+// compose engine validates every subgraph by exact signature and only uses
+// them for accounting — because a member's blocker environment or scan
+// context can change without its own node data changing.
+func (e *Engine) SubgraphsHinted(maxNodes int) ([][]int, []bool) {
+	out := e.Subgraphs(maxNodes)
+	reused := e.part.LastPartsReused()
+	clean := make([]bool, len(out))
+	for i, part := range out {
+		if i >= len(reused) || !reused[i] {
+			continue
+		}
+		ok := true
+		for _, n := range part {
+			if e.lastDirty[e.graph.Regs[n].Inst.ID] {
+				ok = false
+				break
+			}
+		}
+		clean[i] = ok
+	}
+	return out, clean
 }
 
 // fullSweep rebuilds the whole adjacency with the same double loop as

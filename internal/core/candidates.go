@@ -14,9 +14,12 @@ import (
 )
 
 // regIndex answers "which register centers lie inside this rectangle",
-// backed by a center list sorted by X. It indexes every live register of
-// the design — blocking registers (§3.2) are any registers, composable or
-// not.
+// backed by a center list sorted by (X, instance ID). The ID tie-break
+// makes the iteration order of inBox a pure function of the indexed
+// content, which lets consumers (the compose engine's subgraph signatures)
+// encode query results in iteration order without re-sorting. It indexes
+// every live register of the design — blocking registers (§3.2) are any
+// registers, composable or not.
 type regIndex struct {
 	xs  []int64
 	pts []geom.Point
@@ -32,7 +35,12 @@ func newRegIndex(d *netlist.Design) *regIndex {
 	for _, r := range d.Registers() {
 		es = append(es, entry{r.Center(), r.ID})
 	}
-	sort.Slice(es, func(i, j int) bool { return es[i].p.X < es[j].p.X })
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].p.X != es[j].p.X {
+			return es[i].p.X < es[j].p.X
+		}
+		return es[i].id < es[j].id
+	})
 	idx := &regIndex{}
 	for _, e := range es {
 		idx.xs = append(idx.xs, e.p.X)

@@ -23,22 +23,15 @@ func Compose(d *netlist.Design, g *compat.Graph, plan *scan.Plan, opts Options) 
 	return ComposeWith(d, g, plan, nil, opts)
 }
 
-// ComposeWith is Compose with an optional precomputed decomposition of g
-// into subgraphs (node-id lists), as maintained by the incremental
-// compatibility engine's partition cache; nil means decompose here. The
-// subgraphs must equal what partition.Decompose(g, opts.MaxSubgraphNodes)
-// returns — the caches guarantee that — so results are identical either way.
-func ComposeWith(d *netlist.Design, g *compat.Graph, plan *scan.Plan, subgraphs [][]int, opts Options) (*Result, error) {
-	start := time.Now()
+// normalizeOptions applies the defaulting every composition entry point
+// shares; the retained engine folds the normalized options into its
+// signature, so both paths must see identical values.
+func normalizeOptions(opts Options) Options {
 	if opts.MaxSubgraphNodes <= 0 {
 		opts.MaxSubgraphNodes = 30
 	}
 	if opts.NamePrefix == "" {
 		opts.NamePrefix = "mbrc"
-	}
-	res := &Result{
-		RegsBefore:     len(d.Registers()),
-		ComposableRegs: len(g.Regs),
 	}
 	// Without the §3.2 weights nothing prunes the candidate columns, and a
 	// unit-cost set partitioning is maximally degenerate for branch &
@@ -46,6 +39,21 @@ func ComposeWith(d *netlist.Design, g *compat.Graph, plan *scan.Plan, subgraphs 
 	// enumeration cap.
 	if !opts.UseWeights && (opts.MaxCandidatesPerSubgraph == 0 || opts.MaxCandidatesPerSubgraph > 1500) {
 		opts.MaxCandidatesPerSubgraph = 1500
+	}
+	return opts
+}
+
+// ComposeWith is Compose with an optional precomputed decomposition of g
+// into subgraphs (node-id lists), as maintained by the incremental
+// compatibility engine's partition cache; nil means decompose here. The
+// subgraphs must equal what partition.Decompose(g, opts.MaxSubgraphNodes)
+// returns — the caches guarantee that — so results are identical either way.
+func ComposeWith(d *netlist.Design, g *compat.Graph, plan *scan.Plan, subgraphs [][]int, opts Options) (*Result, error) {
+	start := time.Now()
+	opts = normalizeOptions(opts)
+	res := &Result{
+		RegsBefore:     len(d.Registers()),
+		ComposableRegs: len(g.Regs),
 	}
 
 	ri := newRegIndex(d)
@@ -66,6 +74,21 @@ func ComposeWith(d *netlist.Design, g *compat.Graph, plan *scan.Plan, subgraphs 
 	// Ordered reduce: accumulate in subgraph index order — the same order
 	// the sequential loop used — so counts, the floating-point objective sum
 	// and the selected list are identical for any worker count.
+	selected := reduceResults(subResults, res)
+
+	if err := commitSelected(d, g, plan, selected, opts, res); err != nil {
+		return nil, err
+	}
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// reduceResults folds per-subgraph outcomes into res in subgraph index
+// order and returns the concatenated selections — the ordered reduce that
+// keeps counts, the floating-point objective sum and the selected list
+// identical for any worker count. Shared by the memo-free path and the
+// retained engine (which feeds it a mix of fresh solves and replays).
+func reduceResults(subResults []subgraphResult, res *Result) []candidate {
 	var selected []candidate
 	for _, sr := range subResults {
 		if sr.truncated {
@@ -76,8 +99,21 @@ func ComposeWith(d *netlist.Design, g *compat.Graph, plan *scan.Plan, subgraphs 
 		res.ObjectiveSum += sr.objective
 		selected = append(selected, sr.picked...)
 	}
+	return selected
+}
 
-	// Deterministic commit order: by first member's instance ID.
+// commitSelected is the sequential mutation phase: it orders the selected
+// candidates deterministically (by first member's instance ID), commits
+// each merge, and legalizes the new MBRs incrementally. Everything before
+// this point only reads the design.
+func commitSelected(
+	d *netlist.Design,
+	g *compat.Graph,
+	plan *scan.Plan,
+	selected []candidate,
+	opts Options,
+	res *Result,
+) error {
 	sort.Slice(selected, func(i, j int) bool {
 		return regOf(g, selected[i].nodes[0]).ID < regOf(g, selected[j].nodes[0]).ID
 	})
@@ -86,7 +122,7 @@ func ComposeWith(d *netlist.Design, g *compat.Graph, plan *scan.Plan, subgraphs 
 	for idx, c := range selected {
 		m, err := commit(d, g, plan, c, fmt.Sprintf("%s_%d", opts.NamePrefix, idx), opts.ReleaseClocks)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res.MBRs = append(res.MBRs, *m)
 		if m.Incomplete {
@@ -99,20 +135,40 @@ func ComposeWith(d *netlist.Design, g *compat.Graph, plan *scan.Plan, subgraphs 
 	res.LegalizationMoved = lr.Moved
 	res.LegalizationFailed = len(lr.Failed)
 	res.RegsAfter = len(d.Registers())
-	res.Runtime = time.Since(start)
-	return res, nil
+	return nil
+}
+
+// weightPruneTol is the shared tolerance for the "costlier than keeping the
+// members separate" candidate cut. Both selection paths must price the
+// boundary identically — the ILP path historically dropped at
+// weight ≥ members − 1e-12 while the greedy path dropped at
+// weight ≥ members, so a candidate sitting within the tolerance of the
+// boundary was kept by one and cut by the other.
+const weightPruneTol = 1e-12
+
+// overWeighted reports that a multi-member candidate prices at (within
+// tolerance) or above the cost of keeping its members as singletons, so it
+// can never be in an optimal cover: every register has its keep-as-is
+// singleton at cost 1, making the all-singleton replacement always feasible
+// and at least as cheap.
+func overWeighted(weight float64, members int) bool {
+	return weight >= float64(members)-weightPruneTol
 }
 
 // selectILP solves the subgraph's weighted set-partitioning ILP (§3.1) and
 // returns the chosen candidates.
 //
-// Column pruning: every register has its keep-as-is singleton at cost 1,
-// so a candidate whose weight is at least its member count can never be in
-// an optimal cover — replacing it by singletons is always feasible and
-// strictly cheaper. With the §3.2 weights this removes every blocked
-// candidate (b·2ⁿ ≥ 2b ≥ 2·members), typically shrinking the LP by an
-// order of magnitude without changing the optimum.
-func selectILP(nodes []int, cands []candidate, opts Options) ([]candidate, float64, int, error) {
+// Column pruning: a candidate whose weight is at least its member count can
+// never be in an optimal cover (see overWeighted). With the §3.2 weights
+// this removes every blocked candidate (b·2ⁿ ≥ 2b ≥ 2·members), typically
+// shrinking the LP by an order of magnitude without changing the optimum.
+//
+// warm, when non-nil, is the previous pass's selection for this subgraph as
+// sorted member-ordinal sets; it is mapped onto the kept columns and handed
+// to the solver as CoverInstance.Warm, whose contract guarantees the result
+// still matches a cold solve column-for-column. An unmappable warm set
+// (candidate churn) is silently dropped.
+func selectILP(nodes []int, cands []candidate, opts Options, warm [][]int) ([]candidate, *ilp.CoverResult, error) {
 	local := map[int]int{}
 	for i, n := range nodes {
 		local[n] = i
@@ -120,7 +176,7 @@ func selectILP(nodes []int, cands []candidate, opts Options) ([]candidate, float
 	inst := ilp.CoverInstance{NumElems: len(nodes), NodeLimit: opts.ILPNodeLimit}
 	var kept []int
 	for ci, c := range cands {
-		if len(c.nodes) > 1 && c.weight >= float64(len(c.nodes))-1e-12 {
+		if len(c.nodes) > 1 && overWeighted(c.weight, len(c.nodes)) {
 			continue
 		}
 		ms := make([]int, len(c.nodes))
@@ -130,15 +186,75 @@ func selectILP(nodes []int, cands []candidate, opts Options) ([]candidate, float
 		inst.Sets = append(inst.Sets, ilp.CoverSet{Members: ms, Weight: c.weight})
 		kept = append(kept, ci)
 	}
+	if len(warm) > 0 {
+		inst.Warm = mapWarmColumns(len(nodes), inst.Sets, warm)
+	}
 	cr, err := ilp.SolveCover(inst)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("core: subgraph ILP: %w", err)
+		return nil, nil, fmt.Errorf("core: subgraph ILP: %w", err)
 	}
 	out := make([]candidate, 0, len(cr.Chosen))
 	for _, ci := range cr.Chosen {
 		out = append(out, cands[kept[ci]])
 	}
-	return out, cr.Objective, cr.Nodes, nil
+	return out, cr, nil
+}
+
+// mapWarmColumns maps a previous selection — sorted member-ordinal sets for
+// the multi-member picks — onto column indices of the current instance,
+// completing the partition with the singleton columns of uncovered
+// ordinals. Returns nil when any pick no longer has a matching column.
+func mapWarmColumns(numElems int, sets []ilp.CoverSet, warm [][]int) []int {
+	singleton := make([]int, numElems)
+	for i := range singleton {
+		singleton[i] = -1
+	}
+	multi := make(map[string]int)
+	for si, s := range sets {
+		if len(s.Members) == 1 {
+			if singleton[s.Members[0]] < 0 {
+				singleton[s.Members[0]] = si
+			}
+			continue
+		}
+		multi[ordKey(s.Members)] = si
+	}
+	covered := make([]bool, numElems)
+	cols := make([]int, 0, len(warm))
+	for _, ords := range warm {
+		si, ok := multi[ordKey(ords)]
+		if !ok {
+			return nil
+		}
+		cols = append(cols, si)
+		for _, o := range ords {
+			if o < 0 || o >= numElems || covered[o] {
+				return nil
+			}
+			covered[o] = true
+		}
+	}
+	for o := 0; o < numElems; o++ {
+		if covered[o] {
+			continue
+		}
+		if singleton[o] < 0 {
+			return nil
+		}
+		cols = append(cols, singleton[o])
+	}
+	return cols
+}
+
+// ordKey is an order-insensitive key for a member-ordinal set.
+func ordKey(ords []int) string {
+	ms := append([]int(nil), ords...)
+	sort.Ints(ms)
+	buf := make([]byte, 0, len(ms)*4)
+	for _, m := range ms {
+		buf = append(buf, byte(m), byte(m>>8), byte(m>>16), byte(m>>24))
+	}
+	return string(buf)
 }
 
 // selectGreedy is the Fig. 6 baseline: the same methodology with the ILP
@@ -159,7 +275,7 @@ func selectGreedy(d *netlist.Design, g *compat.Graph, nodes []int, cands []candi
 		if len(c.nodes) < 2 {
 			continue
 		}
-		if c.weight >= float64(len(c.nodes)) {
+		if overWeighted(c.weight, len(c.nodes)) {
 			continue // costlier than keeping the members separate
 		}
 		order = append(order, i)

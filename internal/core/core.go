@@ -96,6 +96,22 @@ type Options struct {
 	// check sees one common clock net and the MBR lands on the root (the
 	// next tree update re-parents it under a leaf).
 	ReleaseClocks func(regs []*netlist.Inst)
+
+	// DisableSolveMemo turns off the retained compose engine's
+	// signature-keyed per-subgraph solve memo; every pass then runs the
+	// memo-free pipeline. The zero value (memo on) is the recommended
+	// default. Ignored by the plain Compose/ComposeWith entry points,
+	// which are always memo-free.
+	DisableSolveMemo bool
+	// DisableWarmStart turns off seeding dirty subgraphs' branch & bound
+	// with the previous pass's selection. The zero value (warm starts on)
+	// is the recommended default; either setting yields bit-identical
+	// selections (see ilp.CoverInstance.Warm).
+	DisableWarmStart bool
+	// MemoLimit bounds the engine's memo to this many subgraph entries
+	// (0 = default 65536). A round presenting more subgraphs than the
+	// limit falls back to the memo-free path for that round.
+	MemoLimit int
 }
 
 // DefaultOptions returns the paper's configuration.

@@ -1,0 +1,604 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/compat"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/scan"
+)
+
+// Engine is the retained compose engine: across repeated composition passes
+// over an evolving design it memoizes per-subgraph solve results keyed by a
+// full signature of everything solveSubgraph reads, so a pass re-solves
+// only the subgraphs something actually changed under. The memo follows the
+// partition.Cache discipline — exact encoding, not a hash, with entries not
+// touched in a round evicted — and dirty subgraphs warm-start their branch
+// & bound from the previous selection of the same member set
+// (ilp.CoverInstance.Warm), whose contract keeps every solve bit-identical
+// to a cold one.
+//
+// The signature covers, per subgraph: the member list in order (instance
+// ID, cell name — which pins bits, dimensions, drive and class — position,
+// timing-feasible region, and scan chain/partition/order/position under the
+// graph's plan), the subgraph-local adjacency, and the blocker environment
+// (every register center inside the bounding box of all member footprint
+// corners; any candidate's blocker polygon is contained in that box).
+// Solve-relevant Options and the plan's AllowCrossChain flag are encoded
+// once per round; a change drops the whole memo. The cell library is
+// treated as immutable, like every other retained engine treats it.
+//
+// Because signatures re-encode current state every round, stale entries can
+// never replay: correctness needs no invalidation feed. Clean-subgraph
+// hints (from the compat engine's partition cache and dirty-node deltas)
+// are consumed for accounting only — a hinted-clean subgraph whose
+// signature missed is counted as a hint miss, not trusted.
+//
+// Engine.Compose is bit-identical to the memo-free ComposeWith at any
+// worker count: replays restore the stored selection, objective and counts
+// verbatim; fresh solves run the identical pipeline; and the ordered reduce
+// and commit are shared code. The only field that may legitimately diverge
+// is Result.ILPNodes on warm-started solves, where the probe/retry
+// accounting differs from a cold search while the chosen columns do not.
+// A round with the memo disabled or more subgraphs than MemoLimit falls
+// back to the memo-free path wholesale and drops the retained state.
+type Engine struct {
+	d       *netlist.Design
+	memo    map[string]*memoEntry
+	lineage map[string][][]netlist.InstID
+	optsSig string
+	workers int
+	stats   EngineStats
+	sum     engine.Summary
+	// ri is the blocker-environment index, retained across rounds and
+	// rebuilt only when the design's edit epoch moved — a settled round
+	// (multi-pass tail) pays no O(registers) re-index.
+	ri      *regIndex
+	riEpoch uint64
+}
+
+// memoPick is one selected multi-member candidate in index-independent
+// form: member ordinals within the subgraph's node list plus the scored
+// fields commitSelected and the Result accounting read.
+type memoPick struct {
+	ords      []int
+	totalBits int
+	width     int
+	weight    float64
+	blockers  int
+}
+
+// memoEntry is a replayable subgraph solve: everything the ordered reduce
+// consumes, so a hit contributes to the Result exactly like the solve that
+// produced it did.
+type memoEntry struct {
+	picks      []memoPick
+	objective  float64
+	ilpNodes   int
+	candidates int
+	truncated  bool
+}
+
+// EngineStats are the retained compose engine's cumulative counters.
+type EngineStats struct {
+	// Rounds counts Compose calls served.
+	Rounds int
+	// SubgraphsSeen / SubgraphsReused / SubgraphsSolved count subgraphs
+	// presented, replayed from the memo, and solved fresh.
+	SubgraphsSeen   int
+	SubgraphsReused int
+	SubgraphsSolved int
+	// ILPNodesSaved sums the stored branch & bound node counts of replayed
+	// subgraphs — the search work the memo avoided re-spending.
+	ILPNodesSaved int
+	// WarmSeeded / WarmAccepted / WarmRetried count dirty-subgraph solves
+	// whose branch & bound was seeded from the previous selection, solves
+	// where that selection proved still optimal, and probes that had to
+	// re-run with the canonical greedy seed.
+	WarmSeeded   int
+	WarmAccepted int
+	WarmRetried  int
+	// TightenPruned sums columns removed by reduced-cost root tightening
+	// across fresh solves.
+	TightenPruned int
+	// HintedClean / HintMisses count subgraphs the caller hinted clean,
+	// and those hints contradicted by a signature miss.
+	HintedClean int
+	HintMisses  int
+	// Fallbacks counts rounds served by the memo-free path (memo disabled
+	// or subgraph count over MemoLimit).
+	Fallbacks int
+	// Invalidations counts retained-state drops (Invalidate calls and
+	// solve-relevant option changes).
+	Invalidations int
+	// MemoEntries is the live entry count after the last round.
+	MemoEntries int
+}
+
+// NewEngine returns a retained compose engine bound to the design.
+func NewEngine(d *netlist.Design) *Engine {
+	return &Engine{d: d}
+}
+
+// Invalidate drops the memo and warm-start lineage; the next Compose
+// re-solves everything (engine.Retained contract).
+func (e *Engine) Invalidate() {
+	e.memo = nil
+	e.lineage = nil
+	e.optsSig = ""
+	e.ri = nil
+	e.stats.Invalidations++
+	e.stats.MemoEntries = 0
+}
+
+// regIndex returns the retained blocker index, rebuilding it only when the
+// design changed since it was built. Every register add/remove/move goes
+// through Design methods that bump the edit epoch, so an equal epoch proves
+// the index content-fresh.
+func (e *Engine) regIndex() *regIndex {
+	if e.ri == nil || e.riEpoch != e.d.Epoch() {
+		e.ri = newRegIndex(e.d)
+		e.riEpoch = e.d.Epoch()
+	}
+	return e.ri
+}
+
+// SetWorkers bounds the engine's parallelism; rounds whose Options leave
+// Workers at 0 inherit it. Results are identical for any value.
+func (e *Engine) SetWorkers(n int) { e.workers = n }
+
+// Summary reports the uniform update counters (engine.Retained contract).
+func (e *Engine) Summary() engine.Summary { return e.sum }
+
+// Stats reports the engine's cumulative counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// Compose runs one composition pass through the retained memo. The
+// arguments mirror ComposeWith; clean, when non-nil, carries per-subgraph
+// clean hints aligned with subgraphs (see compatgraph.Engine.SubgraphHints)
+// and is used for accounting only.
+func (e *Engine) Compose(g *compat.Graph, plan *scan.Plan, subgraphs [][]int, clean []bool, opts Options) (*Result, error) {
+	start := time.Now()
+	opts = normalizeOptions(opts)
+	if opts.Workers == 0 {
+		opts.Workers = e.workers
+	}
+	res := &Result{
+		RegsBefore:     len(e.d.Registers()),
+		ComposableRegs: len(g.Regs),
+	}
+	if subgraphs == nil {
+		subgraphs = partition.Decompose(len(g.Regs), g.Adj,
+			func(n int) geom.Point { return g.Regs[n].ClockPos }, opts.MaxSubgraphNodes)
+	}
+	res.Subgraphs = len(subgraphs)
+	res.Workers = resolveWorkers(opts.Workers)
+	e.sum.Updates++
+	e.stats.Rounds++
+	e.stats.SubgraphsSeen += len(subgraphs)
+
+	if os := encodeOptsSig(opts, g.Plan); os != e.optsSig {
+		if e.optsSig != "" {
+			e.stats.Invalidations++
+		}
+		e.memo = nil
+		e.lineage = nil
+		e.optsSig = os
+	}
+
+	limit := opts.MemoLimit
+	if limit <= 0 {
+		limit = 65536
+	}
+	if opts.DisableSolveMemo || len(subgraphs) > limit {
+		// Memo-free fallback: the exact pipeline ComposeWith runs. The
+		// retained state is dropped — bounded memory beats stale warmth.
+		kind := "memo-off"
+		if !opts.DisableSolveMemo {
+			kind = "overflow"
+		}
+		e.memo = nil
+		e.lineage = nil
+		e.stats.Fallbacks++
+		e.stats.SubgraphsSolved += len(subgraphs)
+		e.stats.MemoEntries = 0
+		e.sum.Rebuilds++
+		e.sum.LastKind = kind
+		ri := e.regIndex()
+		subResults, err := solveSubgraphs(e.d, g, ri, subgraphs, opts)
+		if err != nil {
+			return nil, err
+		}
+		selected := reduceResults(subResults, res)
+		if err := commitSelected(e.d, g, plan, selected, opts, res); err != nil {
+			return nil, err
+		}
+		res.Runtime = time.Since(start)
+		return res, nil
+	}
+
+	ri := e.regIndex()
+	type slot struct {
+		sr     subgraphResult
+		sig    string
+		ent    *memoEntry
+		reused bool
+		err    error
+	}
+	slots := make([]slot, len(subgraphs))
+	process := func(i int) {
+		nodes := subgraphs[i]
+		sig := subgraphSig(g, ri, nodes)
+		slots[i].sig = sig
+		if ent, ok := e.memo[sig]; ok {
+			slots[i].ent = ent
+			slots[i].sr = ent.replay(nodes)
+			slots[i].reused = true
+			return
+		}
+		var warm [][]int
+		if !opts.DisableWarmStart && opts.Method == MethodILP {
+			if prev, ok := e.lineage[memberKey(g, nodes)]; ok {
+				warm = mapIDsToOrds(g, nodes, prev)
+			}
+		}
+		sr, err := solveSubgraph(e.d, g, ri, nodes, opts, warm)
+		if err != nil {
+			slots[i].err = err
+			return
+		}
+		slots[i].sr = sr
+		slots[i].ent = entryOf(sr, nodes)
+	}
+
+	workers := resolveWorkers(opts.Workers)
+	if workers > len(subgraphs) {
+		workers = len(subgraphs)
+	}
+	if workers <= 1 {
+		for i := range subgraphs {
+			process(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range jobs {
+					process(idx)
+				}
+			}()
+		}
+		for i := range subgraphs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Sequential merge in subgraph index order: surface the lowest-index
+	// error (what the sequential loop would have hit first), rotate the
+	// memo partition.Cache-style (untouched entries are stale — their
+	// subgraph changed or vanished — and are dropped), and refresh the
+	// member-set lineage that seeds the next round's warm starts.
+	nextMemo := make(map[string]*memoEntry, len(subgraphs))
+	nextLineage := make(map[string][][]netlist.InstID, len(subgraphs))
+	subResults := make([]subgraphResult, len(subgraphs))
+	reusedCount := 0
+	for i := range slots {
+		if slots[i].err != nil {
+			e.memo = nil
+			e.lineage = nil
+			return nil, slots[i].err
+		}
+		sr := slots[i].sr
+		subResults[i] = sr
+		hinted := clean != nil && i < len(clean) && clean[i]
+		if hinted {
+			e.stats.HintedClean++
+		}
+		if slots[i].reused {
+			reusedCount++
+			e.stats.SubgraphsReused++
+			e.stats.ILPNodesSaved += sr.ilpNodes
+		} else {
+			e.stats.SubgraphsSolved++
+			if hinted {
+				e.stats.HintMisses++
+			}
+			if sr.warmSeeded {
+				e.stats.WarmSeeded++
+			}
+			if sr.warmAccepted {
+				e.stats.WarmAccepted++
+			}
+			if sr.warmRetried {
+				e.stats.WarmRetried++
+			}
+			e.stats.TightenPruned += sr.tightenPruned
+		}
+		nextMemo[slots[i].sig] = slots[i].ent
+		nextLineage[memberKey(g, subgraphs[i])] = pickIDs(g, subgraphs[i], slots[i].ent)
+	}
+	e.memo = nextMemo
+	e.lineage = nextLineage
+	e.stats.MemoEntries = len(nextMemo)
+	switch {
+	case e.sum.Updates == 1:
+		e.sum.Rebuilds++
+		e.sum.LastKind = "initial"
+	case reusedCount > 0 || len(subgraphs) == 0:
+		e.sum.Deltas++
+		e.sum.LastKind = "memo-delta"
+	default:
+		e.sum.Rebuilds++
+		e.sum.LastKind = "all-fresh"
+	}
+
+	selected := reduceResults(subResults, res)
+	if err := commitSelected(e.d, g, plan, selected, opts, res); err != nil {
+		return nil, err
+	}
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// replay reconstructs the subgraph's solve outcome over the current node
+// list. Valid only on an exact signature hit, which pins the node list
+// (members and order) the ordinals refer to.
+func (ent *memoEntry) replay(nodes []int) subgraphResult {
+	sr := subgraphResult{
+		objective:  ent.objective,
+		ilpNodes:   ent.ilpNodes,
+		candidates: ent.candidates,
+		truncated:  ent.truncated,
+	}
+	for _, p := range ent.picks {
+		c := candidate{
+			nodes:     make([]int, len(p.ords)),
+			totalBits: p.totalBits,
+			width:     p.width,
+			weight:    p.weight,
+			blockers:  p.blockers,
+		}
+		for j, o := range p.ords {
+			c.nodes[j] = nodes[o]
+		}
+		sr.picked = append(sr.picked, c)
+	}
+	return sr
+}
+
+// entryOf converts a fresh solve into the index-independent memo form.
+func entryOf(sr subgraphResult, nodes []int) *memoEntry {
+	ord := make(map[int]int, len(nodes))
+	for i, n := range nodes {
+		ord[n] = i
+	}
+	ent := &memoEntry{
+		objective:  sr.objective,
+		ilpNodes:   sr.ilpNodes,
+		candidates: sr.candidates,
+		truncated:  sr.truncated,
+	}
+	for _, c := range sr.picked {
+		p := memoPick{
+			ords:      make([]int, len(c.nodes)),
+			totalBits: c.totalBits,
+			width:     c.width,
+			weight:    c.weight,
+			blockers:  c.blockers,
+		}
+		for j, n := range c.nodes {
+			p.ords[j] = ord[n]
+		}
+		ent.picks = append(ent.picks, p)
+	}
+	return ent
+}
+
+// pickIDs rewrites an entry's picks as member instance-ID sets — the
+// node-index-independent form the warm-start lineage stores.
+func pickIDs(g *compat.Graph, nodes []int, ent *memoEntry) [][]netlist.InstID {
+	out := make([][]netlist.InstID, 0, len(ent.picks))
+	for _, p := range ent.picks {
+		ids := make([]netlist.InstID, len(p.ords))
+		for j, o := range p.ords {
+			ids[j] = regOf(g, nodes[o]).ID
+		}
+		out = append(out, ids)
+	}
+	return out
+}
+
+// mapIDsToOrds maps a previous selection (instance-ID sets) onto the
+// current subgraph's member ordinals, sorted per set. Picks naming an
+// instance outside the subgraph are dropped — the remaining picks plus
+// singleton fill still form a feasible warm cover.
+func mapIDsToOrds(g *compat.Graph, nodes []int, picks [][]netlist.InstID) [][]int {
+	ord := make(map[netlist.InstID]int, len(nodes))
+	for i, n := range nodes {
+		ord[regOf(g, n).ID] = i
+	}
+	out := make([][]int, 0, len(picks))
+	for _, ids := range picks {
+		os := make([]int, 0, len(ids))
+		ok := true
+		for _, id := range ids {
+			o, found := ord[id]
+			if !found {
+				ok = false
+				break
+			}
+			os = append(os, o)
+		}
+		if !ok {
+			continue
+		}
+		sort.Ints(os)
+		out = append(out, os)
+	}
+	return out
+}
+
+// memberKey encodes a subgraph's member set (sorted instance IDs) — the
+// lineage key that pairs a dirty subgraph with its previous selection.
+func memberKey(g *compat.Graph, nodes []int) string {
+	ids := make([]int64, len(nodes))
+	for i, n := range nodes {
+		ids[i] = int64(regOf(g, n).ID)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	buf := make([]byte, 0, 8*len(ids))
+	var w [8]byte
+	for _, id := range ids {
+		binary.LittleEndian.PutUint64(w[:], uint64(id))
+		buf = append(buf, w[:]...)
+	}
+	return string(buf)
+}
+
+// encodeOptsSig captures the solve-relevant Options plus the plan's global
+// cross-chain flag — everything a subgraph solve reads that the
+// per-subgraph signature does not carry. Commit-only fields (NamePrefix,
+// ReleaseClocks) and result-neutral knobs (Workers, the memo and
+// warm-start toggles) stay out: changing them must not drop the memo.
+func encodeOptsSig(opts Options, plan *scan.Plan) string {
+	buf := make([]byte, 0, 64)
+	var w [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		buf = append(buf, w[:]...)
+	}
+	putBool := func(b bool) {
+		if b {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	put(uint64(opts.Method))
+	putBool(opts.AllowIncomplete)
+	put(math.Float64bits(opts.IncompleteAreaOverhead))
+	putBool(opts.PerBitAreaRule)
+	putBool(opts.UseWeights)
+	put(uint64(int64(opts.MaxCandidatesPerSubgraph)))
+	put(uint64(int64(opts.ILPNodeLimit)))
+	putBool(plan != nil)
+	if plan != nil {
+		putBool(plan.AllowCrossChain)
+	}
+	return string(buf)
+}
+
+// subgraphSig is the exact encoding of everything solveSubgraph reads for
+// this subgraph, beyond what encodeOptsSig carries globally. Equal
+// signatures imply equal solve inputs, so a memo hit replays a result the
+// pipeline would reproduce verbatim.
+func subgraphSig(g *compat.Graph, ri *regIndex, nodes []int) string {
+	buf := make([]byte, 0, 64+96*len(nodes))
+	var w [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(w[:], uint64(v))
+		buf = append(buf, w[:]...)
+	}
+	putStr := func(s string) {
+		put(int64(len(s)))
+		buf = append(buf, s...)
+	}
+
+	put(int64(len(nodes)))
+	local := make(map[int]int, len(nodes))
+	var bb geom.Rect
+	for i, n := range nodes {
+		local[n] = i
+		info := g.Regs[n]
+		in := info.Inst
+		put(int64(in.ID))
+		putStr(in.RegCell.Name)
+		put(in.Pos.X)
+		put(in.Pos.Y)
+		put(info.Region.Lo.X)
+		put(info.Region.Lo.Y)
+		put(info.Region.Hi.X)
+		put(info.Region.Hi.Y)
+		if g.Plan != nil {
+			if c, pos, ok := g.Plan.ChainOf(in.ID); ok {
+				buf = append(buf, 1)
+				put(int64(c.ID))
+				put(int64(c.Partition))
+				if c.Ordered {
+					buf = append(buf, 1)
+				} else {
+					buf = append(buf, 0)
+				}
+				put(int64(pos))
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+		b := in.Bounds()
+		if i == 0 {
+			bb = b
+		} else {
+			if b.Lo.X < bb.Lo.X {
+				bb.Lo.X = b.Lo.X
+			}
+			if b.Lo.Y < bb.Lo.Y {
+				bb.Lo.Y = b.Lo.Y
+			}
+			if b.Hi.X > bb.Hi.X {
+				bb.Hi.X = b.Hi.X
+			}
+			if b.Hi.Y > bb.Hi.Y {
+				bb.Hi.Y = b.Hi.Y
+			}
+		}
+	}
+
+	// Subgraph-local adjacency, as ordinal pairs in adjacency-list order.
+	for _, n := range nodes {
+		marker := len(buf)
+		buf = append(buf, w[:]...) // count placeholder
+		cnt := int64(0)
+		for _, m := range g.Adj[n] {
+			if j, ok := local[m]; ok {
+				put(int64(j))
+				cnt++
+			}
+		}
+		binary.LittleEndian.PutUint64(buf[marker:marker+8], uint64(cnt))
+	}
+
+	// Blocker environment: every register center inside the bounding box of
+	// all member footprint corners. Any candidate's blocker query scans the
+	// bounding box of a convex hull of a subset of those corners, which this
+	// box contains — so registers outside it can never affect a weight.
+	// Encoded in inBox iteration order, which the regIndex's (X, instance
+	// ID) sort makes a pure function of the indexed content — no re-sort
+	// needed, and unchanged content can never read as a change.
+	marker := len(buf)
+	buf = append(buf, w[:]...) // count placeholder
+	cnt := int64(0)
+	if len(nodes) > 0 {
+		var ee [24]byte
+		ri.inBox(bb, func(id netlist.InstID, p geom.Point) {
+			binary.LittleEndian.PutUint64(ee[0:8], uint64(id))
+			binary.LittleEndian.PutUint64(ee[8:16], uint64(p.X))
+			binary.LittleEndian.PutUint64(ee[16:24], uint64(p.Y))
+			buf = append(buf, ee[:]...)
+			cnt++
+		})
+	}
+	binary.LittleEndian.PutUint64(buf[marker:marker+8], uint64(cnt))
+	return string(buf)
+}

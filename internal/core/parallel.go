@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/compat"
+	"repro/internal/ilp"
 	"repro/internal/netlist"
 )
 
@@ -38,6 +39,13 @@ type subgraphResult struct {
 	candidates int
 	// truncated reports that candidate enumeration hit its cap.
 	truncated bool
+	// warmSeeded/warmAccepted/warmRetried and tightenPruned carry the
+	// solver's warm-start and root-tightening accounting up to the retained
+	// engine's stats; they do not participate in the ordered reduce.
+	warmSeeded    bool
+	warmAccepted  bool
+	warmRetried   bool
+	tightenPruned int
 }
 
 // resolveWorkers maps the Options.Workers convention to a concrete worker
@@ -52,13 +60,17 @@ func resolveWorkers(w int) int {
 
 // solveSubgraph runs the full per-partition pipeline on one subgraph:
 // enumeration, scoring, selection. It only reads shared state and is safe to
-// call concurrently for disjoint subgraphs.
+// call concurrently for disjoint subgraphs. warm, when non-nil, is the
+// previous pass's selection for this subgraph (sorted member-ordinal sets)
+// and seeds the ILP's branch & bound; the solver contract keeps the outcome
+// bit-identical to a cold solve.
 func solveSubgraph(
 	d *netlist.Design,
 	g *compat.Graph,
 	ri *regIndex,
 	nodes []int,
 	opts Options,
+	warm [][]int,
 ) (subgraphResult, error) {
 	var sr subgraphResult
 	cands, truncated, err := enumerateCandidates(d, g, ri, nodes, opts)
@@ -73,10 +85,17 @@ func solveSubgraph(
 	case MethodGreedy:
 		picked, sr.objective = selectGreedy(d, g, nodes, cands)
 	default:
-		picked, sr.objective, sr.ilpNodes, err = selectILP(nodes, cands, opts)
+		var cr *ilp.CoverResult
+		picked, cr, err = selectILP(nodes, cands, opts, warm)
 		if err != nil {
 			return sr, err
 		}
+		sr.objective = cr.Objective
+		sr.ilpNodes = cr.Nodes
+		sr.warmSeeded = cr.WarmSeeded
+		sr.warmAccepted = cr.WarmAccepted
+		sr.warmRetried = cr.WarmRetried
+		sr.tightenPruned = cr.TightenPruned
 	}
 	for _, c := range picked {
 		if len(c.nodes) > 1 {
@@ -107,7 +126,7 @@ func solveSubgraphs(
 	}
 	if workers <= 1 {
 		for i, nodes := range subgraphs {
-			sr, err := solveSubgraph(d, g, ri, nodes, opts)
+			sr, err := solveSubgraph(d, g, ri, nodes, opts, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -124,7 +143,7 @@ func solveSubgraphs(
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				results[idx], errs[idx] = solveSubgraph(d, g, ri, subgraphs[idx], opts)
+				results[idx], errs[idx] = solveSubgraph(d, g, ri, subgraphs[idx], opts, nil)
 			}
 		}()
 	}

@@ -173,8 +173,11 @@ type Report struct {
 	// RouteStats accounts for the retained congestion engine (delta vs
 	// rebuild decisions, re-contributed nets, touched grid edges).
 	RouteStats route.Stats
+	// ComposeStats accounts for the retained compose engine (subgraph memo
+	// replays vs fresh solves, ILP nodes saved, warm-start outcomes).
+	ComposeStats core.EngineStats
 	// Engines is the uniform engine.Retained contract view of the retained
-	// engines, keyed "sta", "compat", "cts", "metrics", "route".
+	// engines, keyed "sta", "compat", "cts", "metrics", "route", "compose".
 	Engines map[string]engine.Summary
 	// SkewedMBRs and ResizedMBRs count the post-composition optimizations.
 	SkewedMBRs  int
@@ -205,6 +208,9 @@ type engines struct {
 	// rt retains the G-cell congestion map so measure's overflow-edge count
 	// is served by per-net demand deltas, not a full re-estimate.
 	rt *route.Engine
+	// comp retains the per-subgraph compose solve memo, so a pass re-solves
+	// only the subgraphs something actually changed under.
+	comp *core.Engine
 }
 
 // pickWorkers resolves a per-engine worker override against the global
@@ -223,12 +229,14 @@ func newEngines(d *netlist.Design, plan *scan.Plan, cfg Config) *engines {
 			Compat:  cfg.Compat.Rules,
 			Workers: pickWorkers(cfg.Compat.Workers, cfg.Workers),
 		}),
-		cts: cts.NewEngine(d, cfg.CTS.Tree),
-		met: metrics.New(d),
-		rt:  route.NewEngine(d, cfg.Route.Est),
+		cts:  cts.NewEngine(d, cfg.CTS.Tree),
+		met:  metrics.New(d),
+		rt:   route.NewEngine(d, cfg.Route.Est),
+		comp: core.NewEngine(d),
 	}
 	e.sta.SetWorkers(pickWorkers(cfg.STA.Workers, cfg.Workers))
 	e.rt.SetWorkers(pickWorkers(cfg.Route.Workers, cfg.Workers))
+	e.comp.SetWorkers(pickWorkers(cfg.Compose.Workers, cfg.Workers))
 	// The compat node phase consumes the STA engine's changed-slack feed;
 	// every cg.Update in the flow passes that engine's latest snapshot.
 	e.cg.SetTimingFeed(e.sta)
@@ -248,6 +256,7 @@ func (e *engines) summaries() map[string]engine.Summary {
 		"cts":     e.cts.Summary(),
 		"metrics": e.met.Summary(),
 		"route":   e.rt.Summary(),
+		"compose": e.comp.Summary(),
 	}
 }
 
@@ -330,7 +339,8 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 			// Keep MBR names unique across passes.
 			composeOpts.NamePrefix = fmt.Sprintf("%s_p%d", namePrefix, p+1)
 		}
-		cres, err := core.ComposeWith(d, g, plan, cg.Subgraphs(maxNodes), composeOpts)
+		subs, hints := cg.SubgraphsHinted(maxNodes)
+		cres, err := engs.comp.Compose(g, plan, subs, hints, composeOpts)
 		if err != nil {
 			return nil, fmt.Errorf("flow: compose pass %d: %w", p+1, err)
 		}
@@ -409,6 +419,7 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	rep.CTSStats = engs.cts.Stats()
 	rep.MetricsStats = engs.met.Stats()
 	rep.RouteStats = engs.rt.Stats()
+	rep.ComposeStats = engs.comp.Stats()
 	rep.Engines = engs.summaries()
 	rep.TotalTime = time.Since(t0)
 	return rep, nil

@@ -114,8 +114,8 @@ func TestReportCarriesEngineStats(t *testing.T) {
 	if rep.Compose != nil && len(rep.Compose.MBRs) > 0 && ct.Deltas == 0 {
 		t.Fatalf("composition happened but no CTS delta update ran: %+v", ct)
 	}
-	if len(rep.Engines) != 5 {
-		t.Fatalf("expected summaries for sta/compat/cts/metrics/route, got %v", rep.Engines)
+	if len(rep.Engines) != 6 {
+		t.Fatalf("expected summaries for sta/compat/cts/metrics/route/compose, got %v", rep.Engines)
 	}
 	for name, s := range rep.Engines {
 		if s.Updates == 0 || s.LastKind == "" {

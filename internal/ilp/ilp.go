@@ -128,14 +128,27 @@ const intTol = 1e-6
 // layered over the original relaxation, ordered by its LP bound.
 type node struct {
 	bound  float64 // LP relaxation objective (in minimize orientation)
+	seq    int     // creation order, the bound tie-break
 	lo, hi []float64
 	depth  int
 }
 
 type nodeHeap []*node
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Len() int { return len(h) }
+
+// Less orders by (bound, creation seq). The seq tie-break makes the pop
+// order a total order over nodes, so the explored sequence — and therefore
+// the returned solution among equal-objective optima — does not depend on
+// heap-internal array layout. That is what lets an incumbent cutoff prune
+// the high-bound tail of the search without perturbing the canonical
+// low-bound prefix (see SolveCover's warm-start contract).
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].seq < h[j].seq
+}
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
 func (h *nodeHeap) Pop() interface{} {
@@ -230,6 +243,7 @@ func (p *Problem) Solve() (*Solution, error) {
 
 	h := &nodeHeap{root}
 	heap.Init(h)
+	seq := 0
 	for h.Len() > 0 {
 		if nodes >= p.maxNodes {
 			if bestX == nil {
@@ -280,7 +294,8 @@ func (p *Problem) Solve() (*Solution, error) {
 		}
 		floorV := math.Floor(sol.X[bv])
 		// Down child: x ≤ floor.
-		down := &node{bound: bound, depth: nd.depth + 1,
+		seq++
+		down := &node{bound: bound, seq: seq, depth: nd.depth + 1,
 			lo: append([]float64(nil), nd.lo...),
 			hi: append([]float64(nil), nd.hi...)}
 		down.hi[bv] = floorV
@@ -288,7 +303,8 @@ func (p *Problem) Solve() (*Solution, error) {
 			heap.Push(h, down)
 		}
 		// Up child: x ≥ floor+1.
-		up := &node{bound: bound, depth: nd.depth + 1,
+		seq++
+		up := &node{bound: bound, seq: seq, depth: nd.depth + 1,
 			lo: append([]float64(nil), nd.lo...),
 			hi: append([]float64(nil), nd.hi...)}
 		up.lo[bv] = floorV + 1
@@ -348,6 +364,17 @@ type CoverInstance struct {
 	// Exact=false in the result; highly degenerate instances (many equal
 	// weights) would otherwise branch combinatorially for no QoR gain.
 	NodeLimit int
+	// Warm optionally names a known feasible exact cover — indices into
+	// Sets — typically the previous pass's selection for this subproblem.
+	// When it prices strictly below the greedy cover it seeds branch &
+	// bound as the incumbent, so the search only has to *improve on* the
+	// old selection rather than rediscover it. The result is guaranteed to
+	// match a cold solve of the same instance column-for-column: if the
+	// warm incumbent would be returned unimproved, SolveCover reruns the
+	// search with the canonical greedy seed (the probe has already paid for
+	// itself by proving no strict improvement exists). A stale or
+	// infeasible Warm is silently ignored.
+	Warm []int
 }
 
 // CoverResult reports the chosen columns of a cover solve.
@@ -358,9 +385,27 @@ type CoverResult struct {
 	Nodes     int
 	// Reduced counts columns removed by preprocessing.
 	Reduced int
+	// TightenPruned counts columns removed at the root by reduced-cost
+	// fixing: against surrogate duals y_e = min_{S∋e} w_S/|S| (dual
+	// feasible for the covering relaxation) a column whose reduced cost
+	// exceeds the greedy-UB optimality gap appears in no optimal cover.
+	TightenPruned int
 	// Exact is false when the node limit stopped the search and Chosen is
 	// the best incumbent rather than a proven optimum.
 	Exact bool
+	// WarmFeasible reports that CoverInstance.Warm mapped onto a feasible
+	// cover of the presolved instance.
+	WarmFeasible bool
+	// WarmSeeded reports that the warm cover priced strictly below the
+	// greedy cover and therefore seeded branch & bound as the incumbent.
+	WarmSeeded bool
+	// WarmAccepted reports that the final objective matches the warm
+	// cover's objective — the previous selection is still optimal.
+	WarmAccepted bool
+	// WarmRetried reports that the warm incumbent survived the probe
+	// search unimproved, forcing a canonical re-solve with the greedy seed
+	// (Nodes then includes both searches).
+	WarmRetried bool
 }
 
 // ErrCoverInfeasible is returned when no exact cover exists.
@@ -496,49 +541,139 @@ func SolveCover(inst CoverInstance) (*CoverResult, error) {
 		return &CoverResult{Chosen: forced, Objective: objForced, Reduced: reduced, Exact: true}, nil
 	}
 
-	prob := New(lp.Minimize)
-	if inst.NodeLimit > 0 {
-		prob.SetNodeLimit(inst.NodeLimit)
-	} else {
-		// Default budget scales inversely with LP size, so a node costs
-		// roughly constant total work regardless of column count.
-		lim := 300_000 / (len(inst.Sets) + 1)
-		if lim < 100 {
-			lim = 100
-		}
-		if lim > 50_000 {
-			lim = 50_000
-		}
-		prob.SetNodeLimit(lim)
-	}
 	var cols []int // column index in inst.Sets per ILP var
-	for i, s := range inst.Sets {
-		if !alive[i] {
-			continue
+	for i := range inst.Sets {
+		if alive[i] {
+			cols = append(cols, i)
 		}
-		prob.AddBinary(s.Weight, "")
-		cols = append(cols, i)
 	}
-	for _, e := range remElems {
-		var terms []lp.Term
-		for vi, ci := range cols {
-			for _, m := range inst.Sets[ci].Members {
-				if m == e {
-					terms = append(terms, lp.Term{Var: vi, Coef: 1})
+
+	// Greedy incumbent (most cost-effective set first): guarantees a
+	// returnable solution even if the node limit stops the search early,
+	// its bound prunes from node one, and it is the upper bound for the
+	// reduced-cost root tightening below.
+	greedyX, greedyObj, hasGreedy := greedyCover(inst, cols, covered)
+
+	// Root bound tightening: y_e = min_{S∋e} w_S/|S| is dual feasible for
+	// the covering relaxation (every column prices out non-negatively), so
+	// L = Σ y_e lower-bounds any exact cover and a column with reduced cost
+	// rc_j = w_j − Σ_{e∈j} y_e has obj ≥ L + rc_j in every cover using it.
+	// With the greedy UB, rc_j > UB − L (+tol) proves j is in no optimal
+	// cover — not even a tied one — so dropping it cannot change the
+	// canonical selection. Greedy columns never satisfy the cut (their
+	// complement prices ≥ the leftover duals), so the incumbent survives;
+	// singletons are kept regardless as the feasibility backstop.
+	tightPruned := 0
+	if hasGreedy {
+		y := make([]float64, len(remElems))
+		for k := range y {
+			y[k] = math.Inf(1)
+		}
+		for _, ci := range cols {
+			s := inst.Sets[ci]
+			rate := s.Weight / float64(len(s.Members))
+			for _, m := range s.Members {
+				if k := elemIdx[m]; rate < y[k] {
+					y[k] = rate
 				}
 			}
 		}
-		prob.AddConstraint(terms, lp.EQ, 1)
+		lower := 0.0
+		for _, v := range y {
+			lower += v
+		}
+		slack := greedyObj - lower
+		keptCols := cols[:0]
+		keptX := greedyX[:0]
+		for vi, ci := range cols {
+			s := inst.Sets[ci]
+			if len(s.Members) > 1 && greedyX[vi] != 1 {
+				rc := s.Weight
+				for _, m := range s.Members {
+					rc -= y[elemIdx[m]]
+				}
+				if rc > slack+1e-9 {
+					tightPruned++
+					continue
+				}
+			}
+			keptCols = append(keptCols, ci)
+			keptX = append(keptX, greedyX[vi])
+		}
+		cols = keptCols
+		greedyX = keptX
 	}
-	// Greedy warm start (most cost-effective set first): guarantees an
-	// incumbent even if the node limit stops the search early, and its
-	// bound prunes from node one.
-	if greedy, obj, ok := greedyCover(inst, cols, covered); ok {
-		prob.SetIncumbent(greedy, obj)
+
+	buildAndSolve := func(seedX []float64, seedObj float64, seed bool) (*Solution, error) {
+		prob := New(lp.Minimize)
+		if inst.NodeLimit > 0 {
+			prob.SetNodeLimit(inst.NodeLimit)
+		} else {
+			// Default budget scales inversely with LP size, so a node costs
+			// roughly constant total work regardless of column count.
+			lim := 300_000 / (len(inst.Sets) + 1)
+			if lim < 100 {
+				lim = 100
+			}
+			if lim > 50_000 {
+				lim = 50_000
+			}
+			prob.SetNodeLimit(lim)
+		}
+		for _, ci := range cols {
+			prob.AddBinary(inst.Sets[ci].Weight, "")
+		}
+		for _, e := range remElems {
+			var terms []lp.Term
+			for vi, ci := range cols {
+				for _, m := range inst.Sets[ci].Members {
+					if m == e {
+						terms = append(terms, lp.Term{Var: vi, Coef: 1})
+					}
+				}
+			}
+			prob.AddConstraint(terms, lp.EQ, 1)
+		}
+		if seed {
+			prob.SetIncumbent(seedX, seedObj)
+		}
+		return prob.Solve()
 	}
-	sol, err := prob.Solve()
+
+	res := &CoverResult{Reduced: reduced, TightenPruned: tightPruned}
+
+	// Warm start from the caller's previous selection. Only a cover that
+	// prices strictly below the greedy seed is worth seeding; on a tie the
+	// greedy seed already prunes just as hard and keeps the solve
+	// bit-identical to a cold run for free.
+	warmX, warmObj, warmOK := mapWarmCover(inst, cols, forced, covered)
+	res.WarmFeasible = warmOK
+	seedX, seedObj, hasSeed := greedyX, greedyObj, hasGreedy
+	warmSeeded := warmOK && (!hasGreedy || warmObj < greedyObj-1e-9)
+	if warmSeeded {
+		seedX, seedObj, hasSeed = warmX, warmObj, true
+		res.WarmSeeded = true
+	}
+
+	sol, err := buildAndSolve(seedX, seedObj, hasSeed)
 	if err != nil {
 		return nil, err
+	}
+	if warmSeeded && sol.X != nil && sol.Objective >= warmObj-1e-9 {
+		// The warm incumbent survived unimproved. Returning it would leak
+		// the previous pass's tie-break into this solve (a cold run returns
+		// its own first-found optimum among ties), so re-run with the
+		// canonical greedy seed. The probe was not wasted: it proved no
+		// strict improvement exists, and its cutoff pruned the whole search
+		// plateau, so the retry dominates total cost only when the warm
+		// start had nothing to offer anyway.
+		res.WarmRetried = true
+		probeNodes := sol.Nodes
+		sol, err = buildAndSolve(greedyX, greedyObj, hasGreedy)
+		if err != nil {
+			return nil, err
+		}
+		sol.Nodes += probeNodes
 	}
 	if sol.Status == Infeasible {
 		return nil, ErrCoverInfeasible
@@ -552,6 +687,9 @@ func SolveCover(inst CoverInstance) (*CoverResult, error) {
 	default:
 		return nil, fmt.Errorf("ilp: cover solve ended with status %v", sol.Status)
 	}
+	if warmOK && math.Abs(sol.Objective-warmObj) <= 1e-9 {
+		res.WarmAccepted = true
+	}
 	chosen := append([]int(nil), forced...)
 	for vi, ci := range cols {
 		if sol.X[vi] > 0.5 {
@@ -559,13 +697,64 @@ func SolveCover(inst CoverInstance) (*CoverResult, error) {
 		}
 	}
 	sort.Ints(chosen)
-	return &CoverResult{
-		Chosen:    chosen,
-		Objective: objForced + sol.Objective,
-		Nodes:     sol.Nodes,
-		Reduced:   reduced,
-		Exact:     sol.Status == Optimal,
-	}, nil
+	res.Chosen = chosen
+	res.Objective = objForced + sol.Objective
+	res.Nodes = sol.Nodes
+	res.Exact = sol.Status == Optimal
+	return res, nil
+}
+
+// mapWarmCover projects CoverInstance.Warm onto the presolved instance: the
+// ILP variable assignment over cols plus its objective. ok=false when Warm
+// is absent, references deleted columns, clashes with presolve forcing, or
+// fails to partition the remaining elements — any staleness just disables
+// the warm start, it is never an error.
+func mapWarmCover(inst CoverInstance, cols []int, forced []int, covered []bool) ([]float64, float64, bool) {
+	if len(inst.Warm) == 0 {
+		return nil, 0, false
+	}
+	forcedSet := make(map[int]bool, len(forced))
+	for _, ci := range forced {
+		forcedSet[ci] = true
+	}
+	varOf := make(map[int]int, len(cols))
+	for vi, ci := range cols {
+		varOf[ci] = vi
+	}
+	x := make([]float64, len(cols))
+	obj := 0.0
+	seen := append([]bool(nil), covered...)
+	remaining := 0
+	for _, c := range seen {
+		if !c {
+			remaining++
+		}
+	}
+	for _, wi := range inst.Warm {
+		if wi < 0 || wi >= len(inst.Sets) {
+			return nil, 0, false
+		}
+		if forcedSet[wi] {
+			continue // already applied outside the ILP
+		}
+		vi, ok := varOf[wi]
+		if !ok || x[vi] == 1 {
+			return nil, 0, false
+		}
+		for _, m := range inst.Sets[wi].Members {
+			if seen[m] {
+				return nil, 0, false
+			}
+			seen[m] = true
+		}
+		remaining -= len(inst.Sets[wi].Members)
+		x[vi] = 1
+		obj += inst.Sets[wi].Weight
+	}
+	if remaining != 0 {
+		return nil, 0, false
+	}
+	return x, obj, true
 }
 
 // greedyCover builds a feasible exact cover over the reduced instance

@@ -1,0 +1,259 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomCover builds a random feasible-or-not cover instance. Singleton
+// columns for every element are optionally guaranteed (the shape the
+// composition ILP always has).
+func randomCover(rng *rand.Rand, withSingletons bool) CoverInstance {
+	ne := 1 + rng.Intn(8)
+	inst := CoverInstance{NumElems: ne}
+	if withSingletons {
+		for e := 0; e < ne; e++ {
+			inst.Sets = append(inst.Sets, CoverSet{Members: []int{e}, Weight: 0.5 + rng.Float64()*2})
+		}
+	}
+	ns := rng.Intn(12)
+	for i := 0; i < ns; i++ {
+		var ms []int
+		for e := 0; e < ne; e++ {
+			if rng.Intn(3) == 0 {
+				ms = append(ms, e)
+			}
+		}
+		if len(ms) == 0 {
+			ms = []int{rng.Intn(ne)}
+		}
+		inst.Sets = append(inst.Sets, CoverSet{Members: ms, Weight: 0.1 + rng.Float64()*5})
+	}
+	return inst
+}
+
+// sameChosen compares selections as sorted column-index sets.
+func sameChosen(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkWarmMatchesCold solves inst cold, then re-solves seeded with the cold
+// selection (the strongest warm start: the proven optimum) and with a
+// deliberately garbage warm, asserting the documented contract: the result
+// matches the cold solve column-for-column in every case.
+func checkWarmMatchesCold(t *testing.T, inst CoverInstance) {
+	t.Helper()
+	cold, err := SolveCover(inst)
+	if err == ErrCoverInfeasible {
+		// Warm on an infeasible instance must stay infeasible.
+		inst.Warm = []int{0}
+		if _, err := SolveCover(inst); err != ErrCoverInfeasible {
+			t.Fatalf("warm start changed infeasibility verdict: %v", err)
+		}
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warms := [][]int{
+		cold.Chosen,          // the previous optimum — the common case
+		{0},                  // likely not a cover: must be ignored
+		{len(inst.Sets) - 1}, // ditto
+		nil,                  // explicit no-op
+	}
+	for _, w := range warms {
+		wi := inst
+		wi.Warm = append([]int(nil), w...)
+		warm, err := SolveCover(wi)
+		if err != nil {
+			t.Fatalf("warm=%v: %v", w, err)
+		}
+		if !sameChosen(warm.Chosen, cold.Chosen) {
+			t.Fatalf("warm=%v selection diverged: %v vs cold %v", w, warm.Chosen, cold.Chosen)
+		}
+		if math.Abs(warm.Objective-cold.Objective) > 1e-9 {
+			t.Fatalf("warm=%v objective %g vs cold %g", w, warm.Objective, cold.Objective)
+		}
+		if warm.Exact != cold.Exact {
+			t.Fatalf("warm=%v exactness %v vs cold %v", w, warm.Exact, cold.Exact)
+		}
+	}
+}
+
+// TestSolveCoverWarmMatchesCold sweeps random instances through
+// checkWarmMatchesCold — the deterministic version of the fuzz target.
+func TestSolveCoverWarmMatchesCold(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		checkWarmMatchesCold(t, randomCover(rng, seed%2 == 0))
+	}
+}
+
+// greedyTrapSets is a base instance whose greedy cover is poor under every
+// ordering greedyCover tries: the {1,2,3,4} column is simultaneously the
+// largest, the cheapest, and the best weight-per-member, so every ordering
+// grabs it first — stranding elements 0 and 5 into unit singletons for a
+// greedy total of 2.2.
+func greedyTrapSets() []CoverSet {
+	sets := make([]CoverSet, 0, 9)
+	for e := 0; e < 6; e++ {
+		sets = append(sets, CoverSet{Members: []int{e}, Weight: 1})
+	}
+	return append(sets,
+		CoverSet{Members: []int{1, 2, 3, 4}, Weight: 0.2}, // col 6: the trap
+		CoverSet{Members: []int{0, 1, 2}, Weight: 0.6},    // col 7
+		CoverSet{Members: []int{3, 4, 5}, Weight: 0.6},    // col 8
+	)
+}
+
+// TestSolveCoverWarmSeededAndRetried pins the canonical retained scenario:
+// re-solving an instance warm-started from its own optimum. The warm cover
+// strictly beats every greedy ordering, so it seeds the search; the probe
+// cannot improve on it, so the solve re-runs with the canonical greedy seed
+// (WarmRetried) and reports the previous selection still optimal.
+func TestSolveCoverWarmSeededAndRetried(t *testing.T) {
+	inst := CoverInstance{
+		NumElems: 6,
+		Sets:     greedyTrapSets(),
+		Warm:     []int{7, 8}, // the optimum: 1.2 vs greedy's 2.2
+	}
+	res, err := SolveCover(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WarmFeasible || !res.WarmSeeded {
+		t.Fatalf("optimal warm cover must seed below greedy: %+v", res)
+	}
+	if !res.WarmRetried {
+		t.Fatalf("unimproved warm probe must trigger the canonical retry: %+v", res)
+	}
+	if !res.WarmAccepted {
+		t.Fatalf("unimproved optimal warm must be accepted: %+v", res)
+	}
+	if !sameChosen(res.Chosen, []int{7, 8}) || !approx(res.Objective, 1.2) {
+		t.Fatalf("selection %v obj %g, want [7 8] 1.2", res.Chosen, res.Objective)
+	}
+}
+
+// TestSolveCoverWarmSeededImproved adds a partition cheaper than the warm
+// cover: the seeded search must abandon the previous selection for the new
+// optimum without a retry (strict improvement needs no canonicalization).
+func TestSolveCoverWarmSeededImproved(t *testing.T) {
+	inst := CoverInstance{
+		NumElems: 6,
+		Sets: append(greedyTrapSets(),
+			CoverSet{Members: []int{0, 1}, Weight: 0.35}, // col 9
+			CoverSet{Members: []int{2, 3}, Weight: 0.35}, // col 10
+			CoverSet{Members: []int{4, 5}, Weight: 0.35}, // col 11
+		),
+		Warm: []int{7, 8}, // previous optimum 1.2; the pairs now price 1.05
+	}
+	res, err := SolveCover(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WarmFeasible || !res.WarmSeeded {
+		t.Fatalf("warm cover below greedy must seed: %+v", res)
+	}
+	if res.WarmRetried {
+		t.Fatalf("improved solve must not retry: %+v", res)
+	}
+	if res.WarmAccepted {
+		t.Fatalf("improved solve must not report the warm as optimal: %+v", res)
+	}
+	if !sameChosen(res.Chosen, []int{9, 10, 11}) || !approx(res.Objective, 1.05) {
+		t.Fatalf("selection %v obj %g, want [9 10 11] 1.05", res.Chosen, res.Objective)
+	}
+}
+
+// TestSolveCoverWarmStaleIgnored pins that a warm cover that no longer
+// covers (overlap or gap) is ignored without error.
+func TestSolveCoverWarmStaleIgnored(t *testing.T) {
+	inst := CoverInstance{
+		NumElems: 2,
+		Sets: []CoverSet{
+			{Members: []int{0}, Weight: 1},
+			{Members: []int{1}, Weight: 1},
+			{Members: []int{0, 1}, Weight: 0.5},
+		},
+	}
+	for _, warm := range [][]int{
+		{0},       // gap: element 1 uncovered
+		{0, 2},    // overlap on element 0
+		{0, 0, 1}, // duplicate column
+		{99},      // out of range
+		{-1},      // out of range
+	} {
+		wi := inst
+		wi.Warm = warm
+		res, err := SolveCover(wi)
+		if err != nil {
+			t.Fatalf("warm=%v: %v", warm, err)
+		}
+		if res.WarmFeasible || res.WarmSeeded {
+			t.Fatalf("stale warm=%v treated as feasible: %+v", warm, res)
+		}
+		if !sameChosen(res.Chosen, []int{2}) {
+			t.Fatalf("warm=%v changed the selection: %v", warm, res.Chosen)
+		}
+	}
+}
+
+// TestSolveCoverWarmNotSeededWhenGreedyTies pins the selection-neutrality
+// guard: a feasible warm cover that does not strictly beat the greedy cover
+// must not seed (a tie seeded warm could steer tie-breaking away from the
+// canonical cold search).
+func TestSolveCoverWarmNotSeededWhenGreedyTies(t *testing.T) {
+	inst := CoverInstance{
+		NumElems: 2,
+		Sets: []CoverSet{
+			{Members: []int{0}, Weight: 1},
+			{Members: []int{1}, Weight: 1},
+			{Members: []int{0, 1}, Weight: 0.5},
+		},
+		// Greedy finds {0,1} at 0.5 on its own; the identical warm cover
+		// must be recognized but not seeded.
+		Warm: []int{2},
+	}
+	res, err := SolveCover(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WarmFeasible {
+		t.Fatalf("feasible warm not recognized: %+v", res)
+	}
+	if res.WarmSeeded {
+		t.Fatalf("warm tied with greedy must not seed: %+v", res)
+	}
+	if !res.WarmAccepted {
+		t.Fatalf("matching objective must report WarmAccepted: %+v", res)
+	}
+}
+
+// FuzzSolveCoverWarmStart fuzzes the warm-start contract: for a random
+// instance, a cold solve and a solve warm-started from the cold optimum
+// (and from garbage) must agree on the selection and objective exactly.
+func FuzzSolveCoverWarmStart(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		checkWarmMatchesCold(t, randomCover(rng, rng.Intn(2) == 0))
+	})
+}

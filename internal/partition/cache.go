@@ -26,8 +26,9 @@ type CacheStats struct {
 // is a pure function of the member order and positions, both captured by
 // the key — only the work for unchanged components is skipped.
 type Cache struct {
-	memo  map[string][][]int // ordinal-encoded split per component key
-	stats CacheStats
+	memo       map[string][][]int // ordinal-encoded split per component key
+	stats      CacheStats
+	lastReused []bool // per output part of the last Decompose: memo hit?
 }
 
 // NewCache returns an empty decomposition cache.
@@ -38,6 +39,12 @@ func NewCache() *Cache {
 // Stats reports reuse counters for the most recent Decompose call.
 func (c *Cache) Stats() CacheStats { return c.stats }
 
+// LastPartsReused reports, aligned with the last Decompose output, whether
+// each returned part came from a memo hit (its component's key — members
+// and positions — was unchanged). The slice is owned by the cache and valid
+// until the next Decompose.
+func (c *Cache) LastPartsReused() []bool { return c.lastReused }
+
 // Decompose is equivalent to the package-level Decompose but reuses cached
 // splits for components whose stable keys and positions are unchanged.
 // key(node) must be stable across calls (node indexes are not) and must
@@ -46,6 +53,7 @@ func (c *Cache) Decompose(n int, adj [][]int, pos func(int) geom.Point, maxNodes
 	comps := ConnectedComponents(n, adj)
 	next := make(map[string][][]int, len(comps))
 	c.stats = CacheStats{Components: len(comps)}
+	c.lastReused = c.lastReused[:0]
 	var out [][]int
 	for _, comp := range comps {
 		ck := componentKey(comp, pos, maxNodes, key)
@@ -67,6 +75,7 @@ func (c *Cache) Decompose(n int, adj [][]int, pos func(int) geom.Point, maxNodes
 				nodes[i] = comp[o]
 			}
 			out = append(out, nodes)
+			c.lastReused = append(c.lastReused, ok)
 		}
 	}
 	// Entries not touched this round are stale (their component changed or

@@ -98,3 +98,119 @@ func TestCacheSurvivesIndexShift(t *testing.T) {
 		t.Fatalf("expected exactly the unchanged singleton to hit: %+v", st)
 	}
 }
+
+// TestCacheVanishReappearRecomputes pins the rotation semantics: entries
+// not touched in a round are evicted, so a component that vanishes for one
+// round and then reappears identically is split fresh — the memo is bounded
+// by the live component count, never by history.
+func TestCacheVanishReappearRecomputes(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 1000, Y: 1000}}
+	adj := [][]int{{1}, {0}, {}}
+	keys := []int64{100, 200, 300}
+	pos := func(i int) geom.Point { return pts[i] }
+	key := func(i int) int64 { return keys[i] }
+
+	c := NewCache()
+	c.Decompose(3, adj, pos, 8, key)
+	if st := c.Stats(); st.Computed != 2 {
+		t.Fatalf("first round: %+v", st)
+	}
+
+	// The {100,200} component vanishes; only the singleton remains.
+	onlyC := func(i int) geom.Point { return pts[2] }
+	onlyK := func(i int) int64 { return keys[2] }
+	c.Decompose(1, [][]int{{}}, onlyC, 8, onlyK)
+	if st := c.Stats(); st.Reused != 1 || st.Computed != 0 {
+		t.Fatalf("survivor round: %+v", st)
+	}
+
+	// It reappears bit-identically: eviction means a fresh split, and the
+	// output still matches the uncached decomposition.
+	got := c.Decompose(3, adj, pos, 8, key)
+	want := Decompose(3, adj, pos, 8)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reappeared decompose diverged: got %v want %v", got, want)
+	}
+	if st := c.Stats(); st.Reused != 1 || st.Computed != 1 {
+		t.Fatalf("reappearance must recompute the evicted component: %+v", st)
+	}
+}
+
+// TestCacheTwinComponentsShareEntry covers same-round sharing: two
+// components with identical keys and positions (possible only under a
+// synthetic key function — real instance IDs are unique) hit one memo
+// entry, with the second replaying the first's split within the round.
+func TestCacheTwinComponentsShareEntry(t *testing.T) {
+	// Components {0,1} and {2,3} are bit-identical twins: same stable keys,
+	// same positions, same shape.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 0, Y: 0}, {X: 50, Y: 0}}
+	adj := [][]int{{1}, {0}, {3}, {2}}
+	keys := []int64{7, 8, 7, 8}
+	pos := func(i int) geom.Point { return pts[i] }
+	key := func(i int) int64 { return keys[i] }
+
+	c := NewCache()
+	got := c.Decompose(4, adj, pos, 8, key)
+	want := Decompose(4, adj, pos, 8)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("twin decompose diverged: got %v want %v", got, want)
+	}
+	st := c.Stats()
+	if st.Components != 2 || st.Computed != 1 || st.Reused != 1 {
+		t.Fatalf("twins must share one entry within the round: %+v", st)
+	}
+	reused := c.LastPartsReused()
+	if len(reused) != len(got) {
+		t.Fatalf("LastPartsReused has %d entries for %d parts", len(reused), len(got))
+	}
+	if reused[0] || !reused[1] {
+		t.Fatalf("first twin computed, second replayed: %v", reused)
+	}
+}
+
+// TestCacheLastPartsReusedAlignment checks the per-part reuse flags across
+// a mutation: parts of a moved component read false, untouched ones true,
+// and the slice stays aligned with the returned parts.
+func TestCacheLastPartsReusedAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 40
+	adj, pts := randGraph(rng, n)
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(500 + i)
+	}
+	pos := func(i int) geom.Point { return pts[i] }
+	key := func(i int) int64 { return keys[i] }
+
+	c := NewCache()
+	c.Decompose(n, adj, pos, 6, key)
+
+	// Move node 0: exactly its component's parts lose their reuse flag.
+	pts[0] = geom.Point{X: pts[0].X + 12345, Y: pts[0].Y}
+	comps := ConnectedComponents(n, adj)
+	dirty := map[int]bool{}
+	for _, comp := range comps {
+		hit := false
+		for _, nd := range comp {
+			if nd == 0 {
+				hit = true
+			}
+		}
+		if hit {
+			for _, nd := range comp {
+				dirty[nd] = true
+			}
+		}
+	}
+	parts := c.Decompose(n, adj, pos, 6, key)
+	reused := c.LastPartsReused()
+	if len(reused) != len(parts) {
+		t.Fatalf("LastPartsReused has %d entries for %d parts", len(reused), len(parts))
+	}
+	for i, part := range parts {
+		wantReused := !dirty[part[0]]
+		if reused[i] != wantReused {
+			t.Fatalf("part %d (%v): reused=%v, want %v", i, part, reused[i], wantReused)
+		}
+	}
+}

@@ -306,6 +306,11 @@ func Legalize(d *netlist.Design) *Result {
 // soon-to-move buffer as a blockage here would doubly constrain the data
 // cells for no benefit.
 func LegalizeIncremental(d *netlist.Design, insts []*netlist.Inst) *Result {
+	if len(insts) == 0 {
+		// Nothing to place: skip the O(design) occupancy build. A converged
+		// composition pass commits no MBRs and must cost no legalization.
+		return &Result{}
+	}
 	moving := map[netlist.InstID]bool{}
 	for _, in := range insts {
 		moving[in.ID] = true
