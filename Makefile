@@ -5,11 +5,12 @@
 #   make lint       # gofmt + vet static checks (the CI lint gate)
 #   make bench      # paper-reproduction benchmark suite
 #   make bench-smoke # one-iteration benchmark pass (CI: catches bit-rot)
+#   make serve-smoke # composition-server load harness (determinism + zero rebuilds)
 #   make golden     # regenerate flow golden files after an intended change
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-smoke golden fuzz
+.PHONY: all build test race lint bench bench-smoke serve-smoke golden fuzz
 
 all: build test
 
@@ -35,6 +36,13 @@ bench:
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# A reduced run of the composition server's concurrent load harness
+# (cmd/mbrserved -selftest): deterministic edit streams over HTTP, every
+# stream checked byte-for-byte against a local replay oracle, zero
+# retained-engine rebuilds allowed in the steady-state window.
+serve-smoke:
+	$(GO) run ./cmd/mbrserved -selftest -sessions 2 -batches 20
 
 golden:
 	$(GO) test ./internal/flow -run TestGolden -update

@@ -1,0 +1,82 @@
+// Command mbrserved serves the incremental composition flow over HTTP:
+// named sessions hold a design plus its retained engines (timing,
+// compatibility graph, clock trees, congestion, metrics, compose memo),
+// edit batches stream in, and measurements/compositions stream out at
+// O(touched) incremental cost per request. Sessions are snapshotable as
+// source + op journal; restore replays and verifies a state digest.
+//
+//	mbrserved -addr 127.0.0.1:8337
+//	curl -s -X POST localhost:8337/v1/sessions -d '{"name":"a","source":{"profile":"D1","scale":200}}'
+//	curl -s -X POST localhost:8337/v1/sessions/a/edits -d '{"edits":[{"op":"skew","inst":"r0001","skewPS":12}]}'
+//	curl -s -X POST localhost:8337/v1/sessions/a/measure
+//
+// -selftest runs the concurrent edit-stream load harness against an
+// in-process server and prints its JSON result (determinism oracle,
+// zero-rebuild steady-state assertion, throughput and latency counters).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/serve"
+	"repro/internal/serve/loadtest"
+)
+
+func main() {
+	def := loadtest.DefaultOptions()
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8337", "listen address")
+		maxSessions = flag.Int("max-sessions", serve.DefaultMaxSessions, "live session cap (LRU eviction beyond it)")
+
+		selftest = flag.Bool("selftest", false, "run the load harness against an in-process server, print JSON result")
+		baseURL  = flag.String("base", "", "selftest: target a running server instead of an in-process one")
+		profile  = flag.String("profile", def.Profile, "selftest: benchmark profile D1..D5")
+		scale    = flag.Int("scale", def.Scale, "selftest: profile scale divisor")
+		sessions = flag.Int("sessions", def.Sessions, "selftest: concurrent sessions")
+		batches  = flag.Int("batches", def.Batches, "selftest: edit batches per session")
+		perBatch = flag.Int("batch-edits", def.BatchEdits, "selftest: edits per batch")
+		measureN = flag.Int("measure-every", def.MeasureEvery, "selftest: measure after every n-th batch")
+		readers  = flag.Int("readers", def.Readers, "selftest: concurrent info/snapshot readers")
+		workers  = flag.Int("workers", 0, "selftest: per-session engine workers (0 = per CPU)")
+		seed     = flag.Int64("seed", def.Seed, "selftest: stream PRNG seed")
+		oracle   = flag.Int("oracle", 0, "selftest: streams to verify against local replay (0 = all)")
+	)
+	flag.Parse()
+
+	if *selftest {
+		o := loadtest.Options{
+			BaseURL:        *baseURL,
+			Profile:        *profile,
+			Scale:          *scale,
+			Sessions:       *sessions,
+			Batches:        *batches,
+			BatchEdits:     *perBatch,
+			MeasureEvery:   *measureN,
+			Readers:        *readers,
+			Workers:        *workers,
+			Seed:           *seed,
+			ComposeAtEnd:   true,
+			OracleSessions: *oracle,
+		}
+		res, err := loadtest.Run(o)
+		if res != nil {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(res)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	m := serve.NewManager(serve.Options{MaxSessions: *maxSessions})
+	log.Printf("mbrserved listening on %s (max %d sessions)", *addr, *maxSessions)
+	log.Fatal(http.ListenAndServe(*addr, serve.Handler(m)))
+}

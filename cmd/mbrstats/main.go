@@ -12,13 +12,20 @@
 // merges into its live trees (re-clustered leaves, repaired ancestors,
 // buffer churn, fallback reason).
 //
+// -json emits the same report as one JSON document using the wire package's
+// encodings (internal/serve/wire), so a report scraped from this tool parses
+// exactly like the composition server's responses: per-pass stats are
+// wire.PassStats, engine counters are wire.EngineSummaries.
+//
 //	mbrstats -profile D1
 //	mbrstats -profile D1 -passes 3
+//	mbrstats -profile D2 -passes 3 -json | jq .passes[0].updateKind
 //	mbrstats -design d1.json -scan d1.scan.json
 //	benchgen -profile D3 -out /dev/stdout | mbrstats -design /dev/stdin
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,12 +36,82 @@ import (
 	"repro/internal/compatgraph"
 	"repro/internal/core"
 	"repro/internal/cts"
+	"repro/internal/engine"
 	"repro/internal/lib"
 	"repro/internal/netlist"
 	"repro/internal/route"
 	"repro/internal/scan"
+	"repro/internal/serve/wire"
 	"repro/internal/sta"
 )
+
+// report is the -json document. The sections mirror the text report; the
+// pass and engine shapes are shared with the composition server.
+type report struct {
+	Design     designReport         `json:"design"`
+	Registers  registersReport      `json:"registers"`
+	Timing     timingReport         `json:"timing"`
+	Compat     compatReport         `json:"compat"`
+	Clock      clockReport          `json:"clock"`
+	Scan       []chainReport        `json:"scan,omitempty"`
+	Congestion congestionReport     `json:"congestion"`
+	Passes     []wire.PassStats     `json:"passes,omitempty"`
+	Engines    wire.EngineSummaries `json:"engines,omitempty"`
+}
+
+type designReport struct {
+	Name      string  `json:"name"`
+	Instances int     `json:"instances"`
+	Nets      int     `json:"nets"`
+	AreaUM2   float64 `json:"areaUM2"`
+}
+
+type registersReport struct {
+	Total   int            `json:"total"`
+	ByWidth map[int]int    `json:"byWidth"`
+	ByClass map[string]int `json:"byClass"`
+}
+
+type timingReport struct {
+	ClockPeriodPS    float64 `json:"clockPeriodPS"`
+	WNSPS            float64 `json:"wnsPS"`
+	TNSNS            float64 `json:"tnsNS"`
+	FailingEndpoints int     `json:"failingEndpoints"`
+	TotalEndpoints   int     `json:"totalEndpoints"`
+}
+
+type compatReport struct {
+	ComposableRegs int            `json:"composableRegs"`
+	TotalRegs      int            `json:"totalRegs"`
+	Edges          int            `json:"edges"`
+	Components     int            `json:"components"`
+	Excluded       map[string]int `json:"excluded,omitempty"`
+}
+
+type clockReport struct {
+	Domains      []domainReport `json:"domains"`
+	Buffers      int            `json:"buffers"`
+	CapPF        float64        `json:"capPF"`
+	WirelengthMM float64        `json:"wirelengthMM"`
+}
+
+type domainReport struct {
+	Net   string `json:"net"`
+	Sinks int    `json:"sinks"`
+}
+
+type chainReport struct {
+	ID        int  `json:"id"`
+	Partition int  `json:"partition"`
+	Regs      int  `json:"regs"`
+	Ordered   bool `json:"ordered"`
+}
+
+type congestionReport struct {
+	OverflowEdges  int     `json:"overflowEdges"`
+	MaxUtilization float64 `json:"maxUtilization"`
+	AvgUtilization float64 `json:"avgUtilization"`
+}
 
 func main() {
 	var (
@@ -43,6 +120,7 @@ func main() {
 		designPath = flag.String("design", "", "design JSON (alternative to -profile)")
 		scanPath   = flag.String("scan", "", "scan plan JSON (with -design)")
 		passes     = flag.Int("passes", 0, "run this many composition passes and report per-pass compat-graph deltas")
+		jsonOut    = flag.Bool("json", false, "emit one JSON document (wire encodings) instead of text")
 	)
 	flag.Parse()
 
@@ -74,20 +152,8 @@ func main() {
 			}
 		}
 	case *profile != "":
-		o := bench.ProfileOpts{Scale: *scale}
-		var spec bench.Spec
-		switch *profile {
-		case "D1":
-			spec = bench.D1(o)
-		case "D2":
-			spec = bench.D2(o)
-		case "D3":
-			spec = bench.D3(o)
-		case "D4":
-			spec = bench.D4(o)
-		case "D5":
-			spec = bench.D5(o)
-		default:
+		spec, ok := bench.ProfileByName(*profile, bench.ProfileOpts{Scale: *scale})
+		if !ok {
 			fatal(fmt.Errorf("unknown profile %q", *profile))
 		}
 		res, err := bench.Generate(spec)
@@ -100,9 +166,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("design %s\n", d.Name)
-	fmt.Printf("  core %v, %d instances, %d nets, area %.0f µm²\n",
-		d.Core, d.NumInsts(), d.NumNets(), float64(d.TotalArea())/1e6)
+	text := !*jsonOut
+	rep := report{Design: designReport{
+		Name:      d.Name,
+		Instances: d.NumInsts(),
+		Nets:      d.NumNets(),
+		AreaUM2:   float64(d.TotalArea()) / 1e6,
+	}}
+	if text {
+		fmt.Printf("design %s\n", d.Name)
+		fmt.Printf("  core %v, %d instances, %d nets, area %.0f µm²\n",
+			d.Core, d.NumInsts(), d.NumNets(), rep.Design.AreaUM2)
+	}
 
 	// Registers by width and class.
 	regs := d.Registers()
@@ -112,23 +187,26 @@ func main() {
 		byWidth[r.Bits()]++
 		byClass[r.RegCell.Class.Key()]++
 	}
-	fmt.Printf("\nregisters: %d total\n", len(regs))
-	var widths []int
-	for w := range byWidth {
-		widths = append(widths, w)
-	}
-	sort.Ints(widths)
-	for _, w := range widths {
-		fmt.Printf("  %d-bit: %d\n", w, byWidth[w])
-	}
-	var classes []string
-	for c := range byClass {
-		classes = append(classes, c)
-	}
-	sort.Strings(classes)
-	fmt.Println("by functional class:")
-	for _, c := range classes {
-		fmt.Printf("  %-40s %d\n", c, byClass[c])
+	rep.Registers = registersReport{Total: len(regs), ByWidth: byWidth, ByClass: byClass}
+	if text {
+		fmt.Printf("\nregisters: %d total\n", len(regs))
+		var widths []int
+		for w := range byWidth {
+			widths = append(widths, w)
+		}
+		sort.Ints(widths)
+		for _, w := range widths {
+			fmt.Printf("  %d-bit: %d\n", w, byWidth[w])
+		}
+		var classes []string
+		for c := range byClass {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		fmt.Println("by functional class:")
+		for _, c := range classes {
+			fmt.Printf("  %-40s %d\n", c, byClass[c])
+		}
 	}
 
 	// Timing + compatibility.
@@ -138,9 +216,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("\ntiming (ideal clocks, period %.0f ps):\n", d.Timing.ClockPeriod)
-	fmt.Printf("  WNS %.1f ps, TNS %.2f ns, failing %d / %d endpoints\n",
-		res.WNS, -res.TNS/1000, res.FailingEndpoints, res.TotalEndpoints)
+	rep.Timing = timingReport{
+		ClockPeriodPS:    d.Timing.ClockPeriod,
+		WNSPS:            res.WNS,
+		TNSNS:            -res.TNS / 1000,
+		FailingEndpoints: res.FailingEndpoints,
+		TotalEndpoints:   res.TotalEndpoints,
+	}
+	if text {
+		fmt.Printf("\ntiming (ideal clocks, period %.0f ps):\n", d.Timing.ClockPeriod)
+		fmt.Printf("  WNS %.1f ps, TNS %.2f ns, failing %d / %d endpoints\n",
+			res.WNS, -res.TNS/1000, res.FailingEndpoints, res.TotalEndpoints)
+	}
 
 	cg := compatgraph.New(d, plan, compatgraph.Options{Compat: compat.DefaultOptions()})
 	cg.SetTimingFeed(eng)
@@ -148,19 +235,31 @@ func main() {
 	cg.Subgraphs(30)
 	st := g.Stats()
 	cs := cg.Stats()
-	fmt.Printf("\ncompatibility graph: %d composable of %d registers, %d edges, %d components\n",
-		st.ComposableRegs, st.TotalRegs, st.Edges, cs.LastComponents)
-	var reasons []string
-	for why := range st.ExcludedByWhy {
-		reasons = append(reasons, string(why))
+	excluded := map[string]int{}
+	for why, n := range st.ExcludedByWhy {
+		excluded[string(why)] = n
 	}
-	sort.Strings(reasons)
-	for _, why := range reasons {
-		fmt.Printf("  excluded (%s): %d\n", why, st.ExcludedByWhy[compat.NotComposableReason(why)])
+	rep.Compat = compatReport{
+		ComposableRegs: st.ComposableRegs,
+		TotalRegs:      st.TotalRegs,
+		Edges:          st.Edges,
+		Components:     cs.LastComponents,
+		Excluded:       excluded,
+	}
+	if text {
+		fmt.Printf("\ncompatibility graph: %d composable of %d registers, %d edges, %d components\n",
+			st.ComposableRegs, st.TotalRegs, st.Edges, cs.LastComponents)
+		var reasons []string
+		for why := range excluded {
+			reasons = append(reasons, why)
+		}
+		sort.Strings(reasons)
+		for _, why := range reasons {
+			fmt.Printf("  excluded (%s): %d\n", why, excluded[why])
+		}
 	}
 
 	// Clock domains.
-	fmt.Println("\nclock domains:")
 	domains := map[netlist.NetID]int{}
 	for _, r := range regs {
 		domains[d.ClockNet(r)]++
@@ -170,44 +269,81 @@ func main() {
 		domIDs = append(domIDs, id)
 	}
 	sort.Slice(domIDs, func(i, j int) bool { return domIDs[i] < domIDs[j] })
+	cm := cts.Measure(d)
+	rep.Clock = clockReport{
+		Buffers:      cm.Buffers,
+		CapPF:        cm.TotalCapFF / 1000,
+		WirelengthMM: float64(cm.WirelengthDBU) / 1e6,
+	}
+	if text {
+		fmt.Println("\nclock domains:")
+	}
 	for _, id := range domIDs {
 		name := "<unclocked>"
 		if n := d.Net(id); n != nil {
 			name = n.Name
 		}
-		fmt.Printf("  %-16s %d sinks\n", name, domains[id])
+		rep.Clock.Domains = append(rep.Clock.Domains, domainReport{Net: name, Sinks: domains[id]})
+		if text {
+			fmt.Printf("  %-16s %d sinks\n", name, domains[id])
+		}
 	}
-	cm := cts.Measure(d)
-	fmt.Printf("clock network: %d buffers, %.2f pF, %.2f mm\n",
-		cm.Buffers, cm.TotalCapFF/1000, float64(cm.WirelengthDBU)/1e6)
+	if text {
+		fmt.Printf("clock network: %d buffers, %.2f pF, %.2f mm\n",
+			cm.Buffers, cm.TotalCapFF/1000, float64(cm.WirelengthDBU)/1e6)
+	}
 
 	// Scan chains.
 	if chains := plan.Chains(); len(chains) > 0 {
-		fmt.Printf("\nscan: %d chains\n", len(chains))
+		if text {
+			fmt.Printf("\nscan: %d chains\n", len(chains))
+		}
 		for _, c := range chains {
-			ord := ""
-			if c.Ordered {
-				ord = " (ordered)"
+			rep.Scan = append(rep.Scan, chainReport{
+				ID: c.ID, Partition: c.Partition, Regs: len(c.Regs), Ordered: c.Ordered,
+			})
+			if text {
+				ord := ""
+				if c.Ordered {
+					ord = " (ordered)"
+				}
+				fmt.Printf("  chain %d: partition %d, %d registers%s\n",
+					c.ID, c.Partition, len(c.Regs), ord)
 			}
-			fmt.Printf("  chain %d: partition %d, %d registers%s\n",
-				c.ID, c.Partition, len(c.Regs), ord)
 		}
 	}
 
 	// Congestion.
 	m := route.Estimate(d, route.DefaultOptions())
-	fmt.Printf("\ncongestion: %d overflow edges, max util %.2f, avg util %.2f\n",
-		m.OverflowEdges(), m.MaxUtilization(), m.AvgUtilization())
+	rep.Congestion = congestionReport{
+		OverflowEdges:  m.OverflowEdges(),
+		MaxUtilization: m.MaxUtilization(),
+		AvgUtilization: m.AvgUtilization(),
+	}
+	if text {
+		fmt.Printf("\ncongestion: %d overflow edges, max util %.2f, avg util %.2f\n",
+			m.OverflowEdges(), m.MaxUtilization(), m.AvgUtilization())
+	}
 
 	if *passes > 0 {
-		runPasses(d, plan, eng, cg, *passes)
+		rep.Passes, rep.Engines = runPasses(d, plan, eng, cg, *passes, text)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
 	}
 }
 
 // runPasses drives composition passes on the in-memory design, reporting
 // what the retained compatibility-graph, clock-tree and congestion engines
-// do on each one.
-func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgraph.Engine, passes int) {
+// do on each one. It returns per-pass wire.PassStats and the final engine
+// summaries, so -json reports parse like the composition server's.
+func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgraph.Engine, passes int, text bool) ([]wire.PassStats, wire.EngineSummaries) {
 	ct := cts.NewEngine(d, cts.DefaultOptions())
 	if err := ct.Attach(); err != nil {
 		fatal(err)
@@ -215,7 +351,10 @@ func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgr
 	rt := route.NewEngine(d, route.DefaultOptions())
 	rt.Update() // baseline estimate, so pass deltas measure only the edits
 	ce := core.NewEngine(d)
-	fmt.Printf("\ncomposition passes (retained compat + compose + clock-tree + congestion engines):\n")
+	var out []wire.PassStats
+	if text {
+		fmt.Printf("\ncomposition passes (retained compat + compose + clock-tree + congestion engines):\n")
+	}
 	for p := 1; p <= passes; p++ {
 		res, err := eng.Run()
 		if err != nil {
@@ -224,17 +363,31 @@ func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgr
 		g := cg.Update(res)
 		subs, hints := cg.SubgraphsHinted(30)
 		cs := cg.Stats()
-		fmt.Printf("pass %d: %d nodes, %d edges, %d components (%d splits reused)\n",
-			p, cs.LastNodes, cs.LastEdges, cs.LastComponents, cs.LastComponentsReused)
-		fmt.Printf("  update: %s  (+%d nodes, -%d nodes, %d dirty)\n",
-			cs.LastKind, cs.LastNodesAdded, cs.LastNodesRemoved, cs.LastNodesDirty)
-		fmt.Printf("  pairs tested %d (edges re-tested %d); rejected by func/scan/place/timing: %d/%d/%d/%d\n",
-			cs.LastPairsTested, cs.LastEdgesRetested,
-			cs.LastRejectsByTest[0], cs.LastRejectsByTest[1],
-			cs.LastRejectsByTest[2], cs.LastRejectsByTest[3])
-		fmt.Printf("  phases: node %s (%d visited, %.2f ms), edges %.2f ms\n",
-			cs.LastNodePhase, cs.LastNodesVisited,
-			float64(cs.LastNodePhaseNS)/1e6, float64(cs.LastEdgePhaseNS)/1e6)
+		ps := wire.PassStats{
+			Pass:          p,
+			Nodes:         cs.LastNodes,
+			Edges:         cs.LastEdges,
+			Components:    cs.LastComponents,
+			UpdateKind:    string(cs.LastKind),
+			NodesAdded:    cs.LastNodesAdded,
+			NodesRemoved:  cs.LastNodesRemoved,
+			NodesDirty:    cs.LastNodesDirty,
+			PairsTested:   cs.LastPairsTested,
+			EdgesRetested: cs.LastEdgesRetested,
+		}
+		if text {
+			fmt.Printf("pass %d: %d nodes, %d edges, %d components (%d splits reused)\n",
+				p, cs.LastNodes, cs.LastEdges, cs.LastComponents, cs.LastComponentsReused)
+			fmt.Printf("  update: %s  (+%d nodes, -%d nodes, %d dirty)\n",
+				cs.LastKind, cs.LastNodesAdded, cs.LastNodesRemoved, cs.LastNodesDirty)
+			fmt.Printf("  pairs tested %d (edges re-tested %d); rejected by func/scan/place/timing: %d/%d/%d/%d\n",
+				cs.LastPairsTested, cs.LastEdgesRetested,
+				cs.LastRejectsByTest[0], cs.LastRejectsByTest[1],
+				cs.LastRejectsByTest[2], cs.LastRejectsByTest[3])
+			fmt.Printf("  phases: node %s (%d visited, %.2f ms), edges %.2f ms\n",
+				cs.LastNodePhase, cs.LastNodesVisited,
+				float64(cs.LastNodePhaseNS)/1e6, float64(cs.LastEdgePhaseNS)/1e6)
+		}
 		opts := core.DefaultOptions()
 		opts.NamePrefix = fmt.Sprintf("mbrp%d", p)
 		opts.ReleaseClocks = ct.ReleaseClocks
@@ -244,64 +397,103 @@ func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgr
 			fatal(err)
 		}
 		es := ce.Stats()
-		fmt.Printf("  composed: %d MBRs, registers %d -> %d (%d truncated subgraphs)\n",
-			len(cres.MBRs), cres.RegsBefore, cres.RegsAfter, cres.TruncatedSubgraphs)
-		fmt.Printf("  compose %s: %d subgraphs replayed, %d solved fresh, %d B&B nodes saved (hints %d clean, %d missed)\n",
-			ce.Summary().LastKind,
-			es.SubgraphsReused-esBefore.SubgraphsReused,
-			es.SubgraphsSolved-esBefore.SubgraphsSolved,
-			es.ILPNodesSaved-esBefore.ILPNodesSaved,
-			es.HintedClean-esBefore.HintedClean,
-			es.HintMisses-esBefore.HintMisses)
-		fmt.Printf("  compose warm: %d seeded, %d accepted, %d retried; %d columns tighten-pruned\n",
-			es.WarmSeeded-esBefore.WarmSeeded,
-			es.WarmAccepted-esBefore.WarmAccepted,
-			es.WarmRetried-esBefore.WarmRetried,
-			es.TightenPruned-esBefore.TightenPruned)
+		ps.MBRs = len(cres.MBRs)
+		ps.RegsBefore = cres.RegsBefore
+		ps.RegsAfter = cres.RegsAfter
+		ps.TruncatedSubgraphs = cres.TruncatedSubgraphs
+		ps.ComposeKind = ce.Summary().LastKind
+		ps.SubgraphsReplayed = es.SubgraphsReused - esBefore.SubgraphsReused
+		ps.SubgraphsSolved = es.SubgraphsSolved - esBefore.SubgraphsSolved
+		ps.ILPNodesSaved = es.ILPNodesSaved - esBefore.ILPNodesSaved
+		ps.WarmSeeded = es.WarmSeeded - esBefore.WarmSeeded
+		ps.WarmAccepted = es.WarmAccepted - esBefore.WarmAccepted
+		ps.WarmRetried = es.WarmRetried - esBefore.WarmRetried
+		ps.TightenPruned = es.TightenPruned - esBefore.TightenPruned
+		if text {
+			fmt.Printf("  composed: %d MBRs, registers %d -> %d (%d truncated subgraphs)\n",
+				len(cres.MBRs), cres.RegsBefore, cres.RegsAfter, cres.TruncatedSubgraphs)
+			fmt.Printf("  compose %s: %d subgraphs replayed, %d solved fresh, %d B&B nodes saved (hints %d clean, %d missed)\n",
+				ps.ComposeKind, ps.SubgraphsReplayed, ps.SubgraphsSolved, ps.ILPNodesSaved,
+				es.HintedClean-esBefore.HintedClean,
+				es.HintMisses-esBefore.HintMisses)
+			fmt.Printf("  compose warm: %d seeded, %d accepted, %d retried; %d columns tighten-pruned\n",
+				ps.WarmSeeded, ps.WarmAccepted, ps.WarmRetried, ps.TightenPruned)
+		}
 		if err := ct.Update(); err != nil {
 			fatal(err)
 		}
 		ts := ct.Stats()
-		line := fmt.Sprintf("  cts %s: %d leaves re-clustered, %d ancestors repaired, %d clusters reused, buffers +%d/-%d",
-			ts.LastKind, ts.LastReclusteredLeaves, ts.LastRepairedAncestors,
-			ts.LastReusedClusters, ts.LastBuffersAdded, ts.LastBuffersRemoved)
-		if ts.LastFallbackReason != "" {
-			line += fmt.Sprintf(" (fallback: %s)", ts.LastFallbackReason)
+		ps.CTSKind = string(ts.LastKind)
+		ps.ReclusteredLeaves = ts.LastReclusteredLeaves
+		ps.RepairedAncestors = ts.LastRepairedAncestors
+		ps.BuffersAdded = ts.LastBuffersAdded
+		ps.BuffersRemoved = ts.LastBuffersRemoved
+		ps.CTSFallback = ts.LastFallbackReason
+		if text {
+			line := fmt.Sprintf("  cts %s: %d leaves re-clustered, %d ancestors repaired, %d clusters reused, buffers +%d/-%d",
+				ts.LastKind, ts.LastReclusteredLeaves, ts.LastRepairedAncestors,
+				ts.LastReusedClusters, ts.LastBuffersAdded, ts.LastBuffersRemoved)
+			if ts.LastFallbackReason != "" {
+				line += fmt.Sprintf(" (fallback: %s)", ts.LastFallbackReason)
+			}
+			fmt.Println(line)
+			fmt.Printf("  cts phases: plan %.2f ms, repair %.2f ms, legalize %.2f ms\n",
+				float64(ts.LastPlanNS)/1e6, float64(ts.LastRepairNS)/1e6,
+				float64(ts.LastLegalizeNS)/1e6)
 		}
-		fmt.Println(line)
-		fmt.Printf("  cts phases: plan %.2f ms, repair %.2f ms, legalize %.2f ms\n",
-			float64(ts.LastPlanNS)/1e6, float64(ts.LastRepairNS)/1e6,
-			float64(ts.LastLegalizeNS)/1e6)
 		pm := ct.Metrics()
 		ts = ct.Stats()
-		fmt.Printf("  clock network (cached): %d buffers, %.2f pF, %.2f mm (%d metric fallbacks)\n",
-			pm.Buffers, pm.TotalCapFF/1000, float64(pm.WirelengthDBU)/1e6,
-			ts.MetricsFallbacks)
+		ps.ClockBuffers = pm.Buffers
+		ps.ClockCapPF = pm.TotalCapFF / 1000
+		ps.ClockWLMM = float64(pm.WirelengthDBU) / 1e6
+		if text {
+			fmt.Printf("  clock network (cached): %d buffers, %.2f pF, %.2f mm (%d metric fallbacks)\n",
+				pm.Buffers, pm.TotalCapFF/1000, float64(pm.WirelengthDBU)/1e6,
+				ts.MetricsFallbacks)
+		}
 		overflow := rt.OverflowEdges()
 		rs := rt.Stats()
-		rline := fmt.Sprintf("  route %s: %d overflow edges, %d nets re-contributed, %d grid edges touched",
-			rs.LastKind, overflow, rs.LastNetsDelta, rs.LastTilesTouched)
-		if rs.LastKind == "rebuild" && rs.LastFallback != "" {
-			rline += fmt.Sprintf(" (fallback: %s)", rs.LastFallback)
+		ps.RouteKind = rs.LastKind
+		ps.OverflowEdges = overflow
+		ps.NetsDelta = rs.LastNetsDelta
+		ps.TilesTouched = rs.LastTilesTouched
+		if text {
+			rline := fmt.Sprintf("  route %s: %d overflow edges, %d nets re-contributed, %d grid edges touched",
+				rs.LastKind, overflow, rs.LastNetsDelta, rs.LastTilesTouched)
+			if rs.LastKind == "rebuild" && rs.LastFallback != "" {
+				rline += fmt.Sprintf(" (fallback: %s)", rs.LastFallback)
+			}
+			fmt.Println(rline)
+			fmt.Printf("  route phases: delta %.2f ms, rebuild %.2f ms\n",
+				float64(rs.LastDeltaNS)/1e6, float64(rs.LastRebuildNS)/1e6)
 		}
-		fmt.Println(rline)
-		fmt.Printf("  route phases: delta %.2f ms, rebuild %.2f ms\n",
-			float64(rs.LastDeltaNS)/1e6, float64(rs.LastRebuildNS)/1e6)
+		out = append(out, ps)
 		if len(cres.MBRs) == 0 {
-			fmt.Printf("  converged after %d passes (delta/rebuild decisions: %d/%d)\n",
-				p, cs.Deltas, cs.Rebuilds)
-			return
+			if text {
+				fmt.Printf("  converged after %d passes (delta/rebuild decisions: %d/%d)\n",
+					p, cg.Stats().Deltas, cg.Stats().Rebuilds)
+			}
+			break
 		}
 	}
 	cs := cg.Stats()
 	ts := ct.Stats()
 	rs := rt.Stats()
 	es := ce.Stats()
-	fmt.Printf("  totals: compat %d updates (%d delta, %d full); compose %d rounds (%d/%d subgraphs replayed, %d nodes saved); cts %d updates (%d delta, %d rebuilds, %d clean); route %d updates (%d delta, %d rebuilds, %d clean)\n",
-		cs.Updates, cs.Deltas, cs.Rebuilds,
-		es.Rounds, es.SubgraphsReused, es.SubgraphsSeen, es.ILPNodesSaved,
-		ts.Updates, ts.Deltas, ts.Rebuilds, ts.Cleans,
-		rs.Updates, rs.Deltas, rs.Rebuilds, rs.Cleans)
+	if text && len(out) == passes {
+		fmt.Printf("  totals: compat %d updates (%d delta, %d full); compose %d rounds (%d/%d subgraphs replayed, %d nodes saved); cts %d updates (%d delta, %d rebuilds, %d clean); route %d updates (%d delta, %d rebuilds, %d clean)\n",
+			cs.Updates, cs.Deltas, cs.Rebuilds,
+			es.Rounds, es.SubgraphsReused, es.SubgraphsSeen, es.ILPNodesSaved,
+			ts.Updates, ts.Deltas, ts.Rebuilds, ts.Cleans,
+			rs.Updates, rs.Deltas, rs.Rebuilds, rs.Cleans)
+	}
+	return out, wire.Engines(map[string]engine.Summary{
+		"sta":     eng.Summary(),
+		"compat":  cg.Summary(),
+		"compose": ce.Summary(),
+		"cts":     ct.Summary(),
+		"route":   rt.Summary(),
+	})
 }
 
 func fatal(err error) {

@@ -129,6 +129,23 @@ func D5(o ProfileOpts) Spec {
 	}
 }
 
+// ProfileByName resolves a built-in profile name ("D1".."D5") to its spec.
+func ProfileByName(name string, o ProfileOpts) (Spec, bool) {
+	switch name {
+	case "D1":
+		return D1(o), true
+	case "D2":
+		return D2(o), true
+	case "D3":
+		return D3(o), true
+	case "D4":
+		return D4(o), true
+	case "D5":
+		return D5(o), true
+	}
+	return Spec{}, false
+}
+
 // All returns the five profiles in order.
 func All(o ProfileOpts) []Spec {
 	return []Spec{D1(o), D2(o), D3(o), D4(o), D5(o)}

@@ -33,6 +33,18 @@ type Options struct {
 	MaxCap float64
 	// Buffer is the clock-buffer cell model.
 	Buffer *netlist.CombSpec
+	// RecenterThresholdDBU enables re-center hysteresis on the retained
+	// engine's delta path: a tree buffer keeps its current position until
+	// the fresh plan centroid has drifted more than this Manhattan
+	// distance from the centroid the buffer was last planted at. Holding
+	// buffers put confines a sink edit's timing ripple to the clusters it
+	// touched instead of re-centering — and hence re-loading — every
+	// ancestor net in the domain. 0 (the default) re-centers on every
+	// update, which keeps the engine's trees bit-identical to a fresh
+	// Build; with a nonzero threshold tree geometry becomes edit-order
+	// dependent, which sequence-replay consumers (the composition server's
+	// journals) are built to accept.
+	RecenterThresholdDBU int64
 }
 
 // DefaultOptions returns typical leaf-level CTS limits.

@@ -49,15 +49,19 @@ type Stats struct {
 	// was rewired (level 0 / higher levels). ReusedClusters counts clusters
 	// kept wholly intact. BuffersAdded/Removed count delta-path buffer
 	// churn (attach-built buffers are not counted).
+	// HeldCentroids counts clusters whose buffer was deliberately kept at
+	// its previous position under Options.RecenterThresholdDBU hysteresis.
 	ReclusteredLeaves int
 	RepairedAncestors int
 	ReusedClusters    int
+	HeldCentroids     int
 	BuffersAdded      int
 	BuffersRemoved    int
 
 	LastReclusteredLeaves int
 	LastRepairedAncestors int
 	LastReusedClusters    int
+	LastHeldCentroids     int
 	LastBuffersAdded      int
 	LastBuffersRemoved    int
 
@@ -381,6 +385,7 @@ func (e *Engine) resetLast() {
 	e.stats.LastReclusteredLeaves = 0
 	e.stats.LastRepairedAncestors = 0
 	e.stats.LastReusedClusters = 0
+	e.stats.LastHeldCentroids = 0
 	e.stats.LastBuffersAdded = 0
 	e.stats.LastBuffersRemoved = 0
 	e.stats.LastFallbackReason = ""
@@ -739,7 +744,11 @@ func (e *Engine) updateDomain(dom *domain, sinkDirty bool) error {
 				net := d.AddNet(fmt.Sprintf("%s_ctsnet_r%d", dom.root.Name, e.serial), true)
 				e.serial++
 				d.Connect(d.OutPin(buf), net)
-				nd = &node{buf: buf, net: net}
+				// Seed the retained centroid with the creation placement so
+				// hysteresis measures drift from where the buffer actually
+				// went down (behavior-neutral when hysteresis is off: the
+				// rewire step below re-derives the same value).
+				nd = &node{buf: buf, net: net, centroid: p.levels[l][ci].centroid}
 				e.ownBuf[buf.ID] = true
 				e.ownNet[net.ID] = dom
 				e.stats.LastBuffersAdded++
@@ -753,23 +762,36 @@ func (e *Engine) updateDomain(dom *domain, sinkDirty bool) error {
 
 	// 3. Rewire bottom-up: every buffer back to its plan centroid, every
 	// net's sink list to exact plan member order. Clusters already in the
-	// desired state are left untouched.
+	// desired state are left untouched. Under RecenterThresholdDBU
+	// hysteresis, a buffer whose fresh plan centroid has drifted no further
+	// than the threshold from the centroid it was last planted at stays
+	// put — even across a membership rewire, because moving the buffer
+	// would change its parent net's geometry and ripple clock arrivals
+	// through every sibling subtree. The retained centroid is kept while
+	// holding, so drift accumulates across updates and a slow creep still
+	// re-centers once the total crosses the threshold.
 	for l := range p.levels {
 		for ci := range p.levels[l] {
 			cl := &p.levels[l][ci]
 			nd := assigned[l][ci]
 			want := desired(l, ci)
-			if nd.buf.Pos != cl.centroid {
-				d.MoveInst(nd.buf, cl.centroid)
-				// Moving back to an unchanged centroid is the normal
-				// centroid→legalize round trip, not a mutation; relegalize
-				// detects real displacement against legalPos.
-				if nd.centroid != cl.centroid {
-					mutated = true
+			same := pinIDsEqual(nd.net.Sinks, want)
+			held := e.opts.RecenterThresholdDBU > 0 &&
+				nd.centroid.ManhattanDist(cl.centroid) <= e.opts.RecenterThresholdDBU
+			if !held {
+				if nd.buf.Pos != cl.centroid {
+					d.MoveInst(nd.buf, cl.centroid)
+					// Moving back to an unchanged centroid is the normal
+					// centroid→legalize round trip, not a mutation; relegalize
+					// detects real displacement against legalPos.
+					if nd.centroid != cl.centroid {
+						mutated = true
+					}
 				}
+				nd.centroid = cl.centroid
 			}
-			nd.centroid = cl.centroid
-			if !pinIDsEqual(nd.net.Sinks, want) {
+			switch {
+			case !same:
 				mutated = true
 				for len(nd.net.Sinks) > 0 {
 					d.Disconnect(d.Pin(nd.net.Sinks[len(nd.net.Sinks)-1]))
@@ -784,7 +806,10 @@ func (e *Engine) updateDomain(dom *domain, sinkDirty bool) error {
 					e.stats.LastRepairedAncestors++
 					e.stats.RepairedAncestors++
 				}
-			} else {
+			case held:
+				e.stats.LastHeldCentroids++
+				e.stats.HeldCentroids++
+			default:
 				e.stats.LastReusedClusters++
 				e.stats.ReusedClusters++
 			}

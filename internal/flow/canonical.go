@@ -59,6 +59,17 @@ func (r *Report) Canonical() string {
 	return b.String()
 }
 
+// Canonical renders one metrics snapshot with the same deterministic,
+// byte-comparable formatting Report.Canonical uses. It is the comparison
+// key of the serving determinism harness: a measurement served by
+// cmd/mbrserved must produce the same bytes as a single-threaded Session
+// replay of the same edit stream.
+func (m Metrics) Canonical() string {
+	var b strings.Builder
+	writeMetrics(&b, "m", m)
+	return b.String()
+}
+
 func writeMetrics(b *strings.Builder, label string, m Metrics) {
 	// Field order is fixed by this function, not by reflection, so the
 	// serialization never shifts under struct reordering.

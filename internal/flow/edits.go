@@ -1,0 +1,269 @@
+// Streamed edit application: the Session's write API. Edits arrive as
+// small JSON-serializable records (the wire format of cmd/mbrserved's edit
+// batches) and are applied through the netlist's tracked mutation methods,
+// so every retained engine picks the change up on its delta path. Edits
+// reference instances, nets and cells by name — names are stable across
+// serialize/reload round trips, instance IDs are not.
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+// Edit is one streamed design edit. Op selects the operation; the other
+// fields are operands (unused ones stay zero).
+//
+//	move     Inst, X, Y          reposition an instance
+//	resize   Inst, Cell          swap a register's cell (same class/width)
+//	skew     Inst, SkewPS        assign useful clock skew to a register
+//	merge    Group, Name[, Cell, X, Y]  merge registers into one MBR
+//	connect  Inst, Pin, Bit, Net attach a pin to a net
+//	disconnect Inst, Pin, Bit    detach a pin from its net
+type Edit struct {
+	Op     string   `json:"op"`
+	Inst   string   `json:"inst,omitempty"`
+	X      int64    `json:"x,omitempty"`
+	Y      int64    `json:"y,omitempty"`
+	Cell   string   `json:"cell,omitempty"`
+	SkewPS float64  `json:"skewPS,omitempty"`
+	Group  []string `json:"group,omitempty"`
+	Name   string   `json:"name,omitempty"`
+	Net    string   `json:"net,omitempty"`
+	Pin    string   `json:"pin,omitempty"`
+	Bit    int      `json:"bit,omitempty"`
+}
+
+// ApplyResult reports what an edit batch did.
+type ApplyResult struct {
+	// Applied counts the edits applied, which on error is the index of the
+	// edit that failed: everything before it took effect (batches are not
+	// transactional), everything from it on did not.
+	Applied int `json:"applied"`
+	// Merged names the MBR instances merge edits created, in batch order.
+	Merged []string `json:"merged,omitempty"`
+	// Epoch is the design's edit epoch after the batch.
+	Epoch uint64 `json:"epoch"`
+}
+
+// pinKinds maps the wire names of pin kinds (the PinKind String forms) to
+// their values.
+var pinKinds = map[string]netlist.PinKind{
+	"D": netlist.PinData, "Q": netlist.PinOut, "CK": netlist.PinClock,
+	"RST": netlist.PinReset, "EN": netlist.PinEnable,
+	"SI": netlist.PinScanIn, "SO": netlist.PinScanOut, "SE": netlist.PinScanEnable,
+}
+
+// Apply applies an edit batch in order through the netlist's tracked
+// mutation methods. On the first failing edit it stops and returns the
+// error with the already-applied prefix recorded in the result; the
+// journal-keeping caller (internal/serve) persists exactly that prefix so
+// a replay reproduces the design state bit-for-bit.
+func (s *Session) Apply(edits []Edit) (*ApplyResult, error) {
+	res := &ApplyResult{}
+	if s.closed {
+		return res, fmt.Errorf("flow: session closed")
+	}
+	for i, e := range edits {
+		if err := s.applyEdit(e, res); err != nil {
+			res.Applied = i
+			res.Epoch = s.d.Epoch()
+			return res, fmt.Errorf("flow: edit %d (%s): %w", i, e.Op, err)
+		}
+	}
+	res.Applied = len(edits)
+	res.Epoch = s.d.Epoch()
+	return res, nil
+}
+
+func (s *Session) applyEdit(e Edit, res *ApplyResult) error {
+	switch e.Op {
+	case "move":
+		in, err := s.liveInst(e.Inst)
+		if err != nil {
+			return err
+		}
+		if in.Fixed {
+			return fmt.Errorf("instance %q is fixed", e.Inst)
+		}
+		s.d.MoveInst(in, geom.Point{X: e.X, Y: e.Y})
+		return nil
+
+	case "resize":
+		in, err := s.liveInst(e.Inst)
+		if err != nil {
+			return err
+		}
+		cell := s.d.Lib.CellByName(e.Cell)
+		if cell == nil {
+			return fmt.Errorf("unknown cell %q", e.Cell)
+		}
+		return s.d.ResizeRegister(in, cell)
+
+	case "skew":
+		in, err := s.liveInst(e.Inst)
+		if err != nil {
+			return err
+		}
+		if in.Kind != netlist.KindReg {
+			return fmt.Errorf("instance %q is not a register", e.Inst)
+		}
+		// Skew feeds the retained timing engine directly, not the netlist;
+		// the engine's incremental run diffs per-register skews itself, so
+		// no touched-ring entry is needed.
+		s.engs.sta.SetSkew(in.ID, e.SkewPS)
+		return nil
+
+	case "merge":
+		return s.applyMerge(e, res)
+
+	case "connect":
+		p, err := s.findPin(e)
+		if err != nil {
+			return err
+		}
+		var net *netlist.Net
+		s.d.Nets(func(n *netlist.Net) {
+			if n.Name == e.Net {
+				net = n
+			}
+		})
+		if net == nil {
+			return fmt.Errorf("unknown net %q", e.Net)
+		}
+		if p.Dir == netlist.DirOut && net.Driver != netlist.NoID && net.Driver != p.ID {
+			return fmt.Errorf("net %q already driven", e.Net)
+		}
+		s.d.Connect(p, net)
+		return nil
+
+	case "disconnect":
+		p, err := s.findPin(e)
+		if err != nil {
+			return err
+		}
+		s.d.Disconnect(p)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown op %q", e.Op)
+	}
+}
+
+// applyMerge merges the named registers into one MBR, following the
+// composition engine's conventions: scan-aware merge order, clock pins
+// released to the domain root first, scan plan updated, and the new MBR
+// legalized incrementally.
+func (s *Session) applyMerge(e Edit, res *ApplyResult) error {
+	if len(e.Group) < 2 {
+		return fmt.Errorf("merge needs >= 2 group members")
+	}
+	if e.Name == "" {
+		return fmt.Errorf("merge needs a name for the MBR")
+	}
+	insts := make([]*netlist.Inst, len(e.Group))
+	ids := make([]netlist.InstID, len(e.Group))
+	totalBits := 0
+	for i, name := range e.Group {
+		in, err := s.liveInst(name)
+		if err != nil {
+			return err
+		}
+		if in.Kind != netlist.KindReg {
+			return fmt.Errorf("group member %q is not a register", name)
+		}
+		insts[i] = in
+		ids[i] = in.ID
+		totalBits += in.Bits()
+	}
+	if s.plan != nil && !s.plan.GroupCompatible(ids) {
+		return fmt.Errorf("group is not scan-compatible")
+	}
+
+	// Cell: explicit, or the smallest fitting width of the first member's
+	// class at its drive strength.
+	cell := s.d.Lib.CellByName(e.Cell)
+	if e.Cell != "" && cell == nil {
+		return fmt.Errorf("unknown cell %q", e.Cell)
+	}
+	if cell == nil {
+		class := insts[0].RegCell.Class
+		width, ok := s.d.Lib.SmallestWidthAtLeast(class, totalBits)
+		if !ok {
+			return fmt.Errorf("no %s cell fits %d bits", class.Key(), totalBits)
+		}
+		cell = s.d.Lib.SelectCell(class, width, insts[0].RegCell.DriveRes)
+		if cell == nil {
+			return fmt.Errorf("no %d-bit cell for class %s", width, class.Key())
+		}
+	}
+
+	// Position: explicit, or the group centroid snapped to the site grid.
+	pos := geom.Point{X: e.X, Y: e.Y}
+	if e.X == 0 && e.Y == 0 {
+		var sx, sy int64
+		for _, in := range insts {
+			sx += in.Pos.X
+			sy += in.Pos.Y
+		}
+		pos = geomSnap(s.d, sx/int64(len(insts)), sy/int64(len(insts)))
+	}
+
+	// Merge order: scan order when scanned (MergeRegisters packs bits in
+	// group order, and scan stitching follows that order).
+	ordered := insts
+	if s.plan != nil {
+		mo := s.plan.MergeOrder(ids)
+		ordered = make([]*netlist.Inst, len(mo))
+		for i, id := range mo {
+			ordered[i] = s.d.Inst(id)
+		}
+	}
+	memberIDs := make([]netlist.InstID, len(ordered))
+	for i, in := range ordered {
+		memberIDs[i] = in.ID
+	}
+	s.engs.cts.ReleaseClocks(ordered)
+	mr, err := s.d.MergeRegisters(ordered, cell, e.Name, pos)
+	if err != nil {
+		return err
+	}
+	if s.plan != nil {
+		if err := s.plan.ApplyMerge(memberIDs, mr.MBR.ID); err != nil {
+			return err
+		}
+	}
+	place.LegalizeIncremental(s.d, []*netlist.Inst{mr.MBR})
+	res.Merged = append(res.Merged, mr.MBR.Name)
+	return nil
+}
+
+func (s *Session) liveInst(name string) (*netlist.Inst, error) {
+	if name == "" {
+		return nil, fmt.Errorf("missing instance name")
+	}
+	in := s.d.InstByName(name)
+	if in == nil {
+		return nil, fmt.Errorf("unknown instance %q", name)
+	}
+	return in, nil
+}
+
+func (s *Session) findPin(e Edit) (*netlist.Pin, error) {
+	in, err := s.liveInst(e.Inst)
+	if err != nil {
+		return nil, err
+	}
+	kind, ok := pinKinds[e.Pin]
+	if !ok {
+		return nil, fmt.Errorf("unknown pin kind %q", e.Pin)
+	}
+	p := s.d.FindPin(in, kind, e.Bit)
+	if p == nil {
+		return nil, fmt.Errorf("no %s[%d] pin on %q", e.Pin, e.Bit, e.Inst)
+	}
+	return p, nil
+}

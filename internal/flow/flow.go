@@ -66,6 +66,12 @@ type CompatConfig struct {
 	// Workers bounds the pairwise re-test fan-out (0 = inherit
 	// Config.Workers).
 	Workers int
+	// MaxDeltaFrac is the changed-node fraction above which the retained
+	// engine's Update abandons the delta path for a full edge re-test
+	// (0 = the engine default, 0.25). Interactive sessions that prize
+	// latency consistency over per-update cost can raise it to stay on the
+	// delta path through larger ripples.
+	MaxDeltaFrac float64
 }
 
 // CTSConfig groups the retained clock-tree engine's options.
@@ -133,6 +139,41 @@ type Config struct {
 	// capacity). Larger rings keep the engines on their delta paths across
 	// bigger edit bursts at a little memory cost.
 	TouchedLogCap int
+}
+
+// Validate rejects configs whose knobs are out of range, with an error
+// naming the offending field. Every count-like knob treats 0 as "use the
+// default"; negative values were previously accepted silently and clamped
+// (or worse, threaded into worker pools), so they are now explicit errors.
+func (c Config) Validate() error {
+	checks := []struct {
+		name string
+		v    int
+	}{
+		{"Workers", c.Workers},
+		{"Passes", c.Passes},
+		{"TouchedLogCap", c.TouchedLogCap},
+		{"STA.Workers", c.STA.Workers},
+		{"Compat.Workers", c.Compat.Workers},
+		{"CTS.Workers", c.CTS.Workers},
+		{"Route.Workers", c.Route.Workers},
+		{"Compose.Workers", c.Compose.Workers},
+	}
+	for _, ck := range checks {
+		if ck.v < 0 {
+			return fmt.Errorf("flow: Config.%s = %d: must be >= 0 (0 selects the default)", ck.name, ck.v)
+		}
+	}
+	if c.UsefulSkew && c.UsefulSkewWindowPS < 0 {
+		return fmt.Errorf("flow: Config.UsefulSkewWindowPS = %v: must be >= 0 (0 selects the default window)", c.UsefulSkewWindowPS)
+	}
+	if c.Compat.MaxDeltaFrac < 0 {
+		return fmt.Errorf("flow: Config.Compat.MaxDeltaFrac = %v: must be >= 0 (0 selects the engine default)", c.Compat.MaxDeltaFrac)
+	}
+	if c.CTS.Tree.RecenterThresholdDBU < 0 {
+		return fmt.Errorf("flow: Config.CTS.Tree.RecenterThresholdDBU = %d: must be >= 0 (0 disables hysteresis)", c.CTS.Tree.RecenterThresholdDBU)
+	}
+	return nil
 }
 
 // DefaultConfig returns the paper-default flow.
@@ -226,8 +267,9 @@ func newEngines(d *netlist.Design, plan *scan.Plan, cfg Config) *engines {
 	e := &engines{
 		sta: sta.New(d),
 		cg: compatgraph.New(d, plan, compatgraph.Options{
-			Compat:  cfg.Compat.Rules,
-			Workers: pickWorkers(cfg.Compat.Workers, cfg.Workers),
+			Compat:       cfg.Compat.Rules,
+			Workers:      pickWorkers(cfg.Compat.Workers, cfg.Workers),
+			MaxDeltaFrac: cfg.Compat.MaxDeltaFrac,
 		}),
 		cts:  cts.NewEngine(d, cfg.CTS.Tree),
 		met:  metrics.New(d),
@@ -261,29 +303,34 @@ func (e *engines) summaries() map[string]engine.Summary {
 }
 
 // Run executes the flow on the design in place. The design must be placed
-// and legal (bench.Generate output qualifies).
+// and legal (bench.Generate output qualifies). It is a thin one-shot
+// wrapper over Session: create, drive the paper's flow, close.
 func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	t0 := time.Now()
-	rep := &Report{Design: d.Name}
-	if cfg.TouchedLogCap > 0 {
-		prev := d.TouchedLogCap()
-		d.SetTouchedLogCap(cfg.TouchedLogCap)
-		defer d.SetTouchedLogCap(prev)
+	s, err := NewSession(d, plan, cfg)
+	if err != nil {
+		return nil, err
 	}
-	// The engines below all start invalid (their first looks are full
-	// rebuilds), so whatever the rings recorded before this point — design
-	// construction, most commonly — only wastes their capacity. Start the
-	// run with the full ring budget.
-	d.ResetTouchedLog()
-	engs := newEngines(d, plan, cfg)
+	defer s.Close()
+	rep, err := s.runFlow()
+	if err != nil {
+		return nil, err
+	}
+	rep.TotalTime = time.Since(t0)
+	return rep, nil
+}
+
+// runFlow drives the paper's implementation flow (Fig. 4) on the
+// session's freshly attached engines: base measurement, composition
+// passes, useful skew, sizing, final canonical measurement.
+func (s *Session) runFlow() (*Report, error) {
+	d, plan, cfg, engs := s.d, s.plan, s.cfg, s.engs
+	rep := &Report{Design: d.Name}
 	eng, cg := engs.sta, engs.cg
 
-	// ---- Base measurement: attach the retained clock trees and measure.
-	// The trees stay attached for the rest of the run; composition edits
-	// are folded in by delta updates. ----
-	if err := engs.cts.Attach(); err != nil {
-		return nil, fmt.Errorf("flow: base CTS: %w", err)
-	}
+	// ---- Base measurement: the trees were attached by NewSession and
+	// stay attached for the rest of the run; composition edits are folded
+	// in by delta updates. ----
 	base, err := measure(d, engs, cfg)
 	if err != nil {
 		return nil, err
@@ -307,19 +354,7 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	// is analyzed before a tree exists). ----
 	eng.SetIdealClocks(true)
 	tc0 := time.Now()
-	composeOpts := cfg.Compose
-	if cfg.Workers != 0 {
-		composeOpts.Workers = cfg.Workers
-	}
-	// Merging registers that sit under different tree leaves would fail the
-	// merge's control-net agreement check; the engine releases each group's
-	// clock pins back to the domain root just before the merge, and the
-	// next tree update re-parents the MBR under a leaf.
-	composeOpts.ReleaseClocks = engs.cts.ReleaseClocks
-	maxNodes := composeOpts.MaxSubgraphNodes
-	if maxNodes <= 0 {
-		maxNodes = 30
-	}
+	composeOpts := s.composeOpts()
 	namePrefix := composeOpts.NamePrefix
 	if namePrefix == "" {
 		namePrefix = "mbrc"
@@ -330,17 +365,11 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	}
 	var newMBRs []*netlist.Inst
 	for p := 0; p < passes; p++ {
-		res, err := eng.Run()
-		if err != nil {
-			return nil, err
-		}
-		g := cg.Update(res)
 		if p > 0 {
 			// Keep MBR names unique across passes.
 			composeOpts.NamePrefix = fmt.Sprintf("%s_p%d", namePrefix, p+1)
 		}
-		subs, hints := cg.SubgraphsHinted(maxNodes)
-		cres, err := engs.comp.Compose(g, plan, subs, hints, composeOpts)
+		cres, err := s.composePass(composeOpts)
 		if err != nil {
 			return nil, fmt.Errorf("flow: compose pass %d: %w", p+1, err)
 		}
@@ -421,7 +450,6 @@ func Run(d *netlist.Design, plan *scan.Plan, cfg Config) (*Report, error) {
 	rep.RouteStats = engs.rt.Stats()
 	rep.ComposeStats = engs.comp.Stats()
 	rep.Engines = engs.summaries()
-	rep.TotalTime = time.Since(t0)
 	return rep, nil
 }
 

@@ -1,0 +1,172 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/netlist"
+)
+
+// sessionBench generates a small D1 design and opens a session on it.
+func sessionBench(t *testing.T, cfg Config) (*Session, *bench.Result) {
+	t.Helper()
+	res, err := bench.Generate(bench.D1(bench.ProfileOpts{Scale: 200}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(res.Design, res.Plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, res
+}
+
+func TestConfigValidateRejectsEachField(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"Workers", func(c *Config) { c.Workers = -1 }},
+		{"Passes", func(c *Config) { c.Passes = -2 }},
+		{"TouchedLogCap", func(c *Config) { c.TouchedLogCap = -1 }},
+		{"STA.Workers", func(c *Config) { c.STA.Workers = -1 }},
+		{"Compat.Workers", func(c *Config) { c.Compat.Workers = -3 }},
+		{"CTS.Workers", func(c *Config) { c.CTS.Workers = -1 }},
+		{"Route.Workers", func(c *Config) { c.Route.Workers = -1 }},
+		{"Compose.Workers", func(c *Config) { c.Compose.Workers = -5 }},
+		{"UsefulSkewWindowPS", func(c *Config) {
+			c.UsefulSkew = true
+			c.UsefulSkewWindowPS = -1
+		}},
+		{"Compat.MaxDeltaFrac", func(c *Config) { c.Compat.MaxDeltaFrac = -0.1 }},
+		{"CTS.Tree.RecenterThresholdDBU", func(c *Config) { c.CTS.Tree.RecenterThresholdDBU = -100 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted bad %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.name) {
+				t.Fatalf("error does not name the field %s: %v", tc.name, err)
+			}
+		})
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+}
+
+func TestApplyEditOps(t *testing.T) {
+	s, _ := sessionBench(t, DefaultConfig())
+	var r1, r2 *netlist.Inst
+	s.Design().Insts(func(in *netlist.Inst) {
+		if in.Kind != netlist.KindReg || in.Fixed {
+			return
+		}
+		if r1 == nil {
+			r1 = in
+		} else if r2 == nil && in.RegCell.Class == r1.RegCell.Class {
+			r2 = in
+		}
+	})
+	if r1 == nil || r2 == nil {
+		t.Fatal("no two movable registers")
+	}
+
+	res, err := s.Apply([]Edit{
+		{Op: "move", Inst: r1.Name, X: r1.Pos.X + 500, Y: r1.Pos.Y},
+		{Op: "skew", Inst: r2.Name, SkewPS: 12},
+	})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if res.Applied != 2 {
+		t.Fatalf("applied %d, want 2", res.Applied)
+	}
+	if got := s.Design().InstByName(r1.Name).Pos.Y; got != r1.Pos.Y {
+		t.Fatalf("move changed Y: %d", got)
+	}
+
+	// Resize to a same-class same-width alternate.
+	alts := s.Design().Lib.CellsOfWidth(r1.RegCell.Class, r1.RegCell.Bits)
+	if len(alts) > 1 {
+		alt := alts[0]
+		if alt.Name == r1.RegCell.Name {
+			alt = alts[1]
+		}
+		if _, err := s.Apply([]Edit{{Op: "resize", Inst: r1.Name, Cell: alt.Name}}); err != nil {
+			t.Fatalf("resize: %v", err)
+		}
+		if got := s.Design().InstByName(r1.Name).RegCell.Name; got != alt.Name {
+			t.Fatalf("resize left cell %s, want %s", got, alt.Name)
+		}
+	}
+}
+
+func TestApplyStopsAtFirstFailure(t *testing.T) {
+	s, _ := sessionBench(t, DefaultConfig())
+	var r1 *netlist.Inst
+	s.Design().Insts(func(in *netlist.Inst) {
+		if r1 == nil && in.Kind == netlist.KindReg && !in.Fixed {
+			r1 = in
+		}
+	})
+	epoch0 := s.Epoch()
+	res, err := s.Apply([]Edit{
+		{Op: "move", Inst: r1.Name, X: r1.Pos.X + 200, Y: r1.Pos.Y},
+		{Op: "move", Inst: "no_such_instance", X: 1, Y: 1},
+		{Op: "skew", Inst: r1.Name, SkewPS: 9},
+	})
+	if err == nil {
+		t.Fatal("expected error for unknown instance")
+	}
+	if res.Applied != 1 {
+		t.Fatalf("applied %d, want the 1-edit prefix", res.Applied)
+	}
+	if s.Epoch() == epoch0 {
+		t.Fatal("prefix edit should have advanced the epoch")
+	}
+
+	if _, err := s.Apply([]Edit{{Op: "frobnicate"}}); err == nil ||
+		!strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("unknown op error = %v", err)
+	}
+	if _, err := s.Apply([]Edit{{Op: "merge", Group: []string{r1.Name}, Name: "m"}}); err == nil {
+		t.Fatal("merge with 1 member must fail")
+	}
+}
+
+// TestSessionMeasureMatchesRunBase pins the wrapper contract: flow.Run's
+// Base row is exactly what a fresh session's first Measure reports.
+func TestSessionMeasureMatchesRunBase(t *testing.T) {
+	gen := func() *bench.Result {
+		res, err := bench.Generate(bench.D1(bench.ProfileOpts{Scale: 200}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1 := gen()
+	rep, err := Run(r1.Design, r1.Plan, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := gen()
+	s, err := NewSession(r2.Design, r2.Plan, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	met, err := s.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := met.Canonical(), rep.Base.Canonical(); got != want {
+		t.Fatalf("session Measure differs from Run base:\nsession:\n%srun:\n%s", got, want)
+	}
+}

@@ -35,6 +35,13 @@ func (d *Design) RemoveNet(n *Net) error {
 // edit log so incremental timing can invalidate the instance's
 // neighbourhood.
 func (d *Design) MoveInst(in *Inst, pos geom.Point) {
+	if in.Pos == pos {
+		// A no-op move changes nothing an engine could observe; noting it
+		// would still consume touched-ring capacity (the legalizer calls
+		// MoveInst for every settled instance, displaced or not), and ring
+		// drops are what force retained readers off their delta paths.
+		return
+	}
 	in.Pos = pos
 	d.noteTouch(in.ID)
 }

@@ -29,11 +29,13 @@ package netlist
 // paths. Epochs are shared across classes (one monotonic counter), only
 // the touched record is partitioned.
 //
-// Each touched record is a bounded ring (capacity SetTouchedLogCap,
-// default defaultTouchedRingCap). When a ring overflows it is dropped
-// wholesale and TouchedSince reports incomplete for that class, which
-// simply downgrades consumers to a full rebuild — correctness never
-// depends on a ring.
+// Each touched record is a bounded circular ring (capacity
+// SetTouchedLogCap, default defaultTouchedRingCap). A full ring evicts its
+// oldest entry per append, so a reader is only incomplete when its cursor
+// predates the oldest retained entry — readers that sync at least once per
+// ring-capacity's worth of edits stay complete forever, however long the
+// total edit stream runs. An incomplete read simply downgrades the
+// consumer to a full rebuild — correctness never depends on a ring.
 //
 // All edits must go through the Design methods (Connect, Disconnect,
 // MoveInst, ResizeRegister, ...); writing Inst.Pos or pin/net fields
@@ -67,12 +69,46 @@ type touchedEntry struct {
 	inst  InstID
 }
 
-// classRing is one edit class's bounded touched record.
+// classRing is one edit class's bounded touched record: a circular buffer
+// that evicts its oldest entry once full.
 type classRing struct {
 	// trackedFrom is the cursor floor: TouchedSince(c) is complete iff
-	// c >= trackedFrom.
+	// c >= trackedFrom. It advances to each evicted entry's epoch.
 	trackedFrom uint64
-	ring        []touchedEntry
+	buf         []touchedEntry // storage; grows to capacity, then wraps
+	head        int            // index of the oldest retained entry
+	n           int            // live entries
+}
+
+// clear drops the record; edits at or before the given epoch become
+// untracked.
+func (r *classRing) clear(epoch uint64) {
+	r.buf = r.buf[:0]
+	r.head = 0
+	r.n = 0
+	r.trackedFrom = epoch
+}
+
+// push appends an entry, evicting the oldest once the ring holds cap.
+func (r *classRing) push(ent touchedEntry, cap int) {
+	if len(r.buf) < cap {
+		r.buf = append(r.buf, ent)
+		r.n++
+		return
+	}
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = ent
+		r.n++
+		return
+	}
+	r.trackedFrom = r.buf[r.head].epoch
+	r.buf[r.head] = ent
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// at returns the i-th oldest retained entry, 0 <= i < n.
+func (r *classRing) at(i int) touchedEntry {
+	return r.buf[(r.head+i)%len(r.buf)]
 }
 
 // editLog is the per-Design edit tracker. The zero value is ready to use.
@@ -133,9 +169,9 @@ func (d *Design) WithEditClass(c EditClass, fn func()) {
 func (d *Design) TouchedLogCap() int { return d.edits.ringCap() }
 
 // SetTouchedLogCap sets the per-class touched-ring capacity (entries).
-// n <= 0 restores the default. Shrinking below a ring's current length
-// drops that ring wholesale (consumers degrade to a full rebuild once,
-// exactly as on overflow).
+// n <= 0 restores the default. Non-empty rings are dropped wholesale on
+// any capacity change (consumers degrade to a full rebuild once, exactly
+// as on an overflowed cursor).
 // ResetTouchedLog drops every class's touched ring, marking all past
 // edits untracked (readers with older cursors see an incomplete record
 // and degrade to their full paths, exactly as after an overflow). Callers
@@ -146,9 +182,7 @@ func (d *Design) TouchedLogCap() int { return d.edits.ringCap() }
 func (d *Design) ResetTouchedLog() {
 	e := &d.edits
 	for i := range e.rings {
-		r := &e.rings[i]
-		r.ring = r.ring[:0]
-		r.trackedFrom = e.epoch
+		e.rings[i].clear(e.epoch)
 	}
 }
 
@@ -158,12 +192,12 @@ func (d *Design) SetTouchedLogCap(n int) {
 		n = 0
 	}
 	e.cap = n
-	limit := e.ringCap()
+	// Changing capacity re-shapes the circular storage; drop non-empty
+	// rings wholesale rather than re-index them (consumers degrade to one
+	// full rebuild, exactly as on an overflowed cursor).
 	for i := range e.rings {
-		r := &e.rings[i]
-		if len(r.ring) > limit {
-			r.ring = r.ring[:0]
-			r.trackedFrom = e.epoch
+		if r := &e.rings[i]; r.n > 0 {
+			r.clear(e.epoch)
 		}
 	}
 }
@@ -187,8 +221,8 @@ func (d *Design) TouchedSinceClass(epoch uint64, class EditClass) (touched []Ins
 		return nil, false
 	}
 	seen := map[InstID]bool{}
-	for i := len(r.ring) - 1; i >= 0; i-- {
-		ent := r.ring[i]
+	for i := r.n - 1; i >= 0; i-- {
+		ent := r.at(i)
 		if ent.epoch <= epoch {
 			break
 		}
@@ -205,13 +239,7 @@ func (d *Design) TouchedSinceClass(epoch uint64, class EditClass) (touched []Ins
 func (d *Design) noteTouch(inst InstID) {
 	e := &d.edits
 	e.epoch++
-	r := &e.rings[e.class]
-	if len(r.ring) >= e.ringCap() {
-		// Drop the record wholesale: only the new entry remains tracked.
-		r.ring = r.ring[:0]
-		r.trackedFrom = e.epoch - 1
-	}
-	r.ring = append(r.ring, touchedEntry{epoch: e.epoch, inst: inst})
+	e.rings[e.class].push(touchedEntry{epoch: e.epoch, inst: inst}, e.ringCap())
 }
 
 // noteStructural records a data-path connectivity edit at the instance.

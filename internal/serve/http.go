@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/serve/wire"
+)
+
+// API request/response shapes. Engine summaries ride on every mutating
+// response so clients (and the load harness's zero-rebuild assertion) can
+// watch the delta/rebuild accounting per request.
+
+// CreateRequest opens a session.
+type CreateRequest struct {
+	Name   string        `json:"name"`
+	Source Source        `json:"source"`
+	Config SessionConfig `json:"config"`
+}
+
+// CreateResponse acknowledges a created or restored session.
+type CreateResponse struct {
+	Name    string               `json:"name"`
+	Design  string               `json:"design"`
+	Epoch   uint64               `json:"epoch"`
+	Ops     int                  `json:"ops"`
+	Engines wire.EngineSummaries `json:"engines"`
+}
+
+// EditsRequest streams one edit batch into a session.
+type EditsRequest struct {
+	Edits []flow.Edit `json:"edits"`
+}
+
+// EditsResponse reports what the batch did.
+type EditsResponse struct {
+	Applied int                  `json:"applied"`
+	Merged  []string             `json:"merged,omitempty"`
+	Epoch   uint64               `json:"epoch"`
+	Error   string               `json:"error,omitempty"`
+	Engines wire.EngineSummaries `json:"engines"`
+}
+
+// MeasureResponse is one incremental measurement.
+type MeasureResponse struct {
+	Metrics   wire.Metrics         `json:"metrics"`
+	Canonical string               `json:"canonical"`
+	Nanos     int64                `json:"nanos"`
+	Engines   wire.EngineSummaries `json:"engines"`
+}
+
+// ComposeResponse is one composition pass's outcome.
+type ComposeResponse struct {
+	Compose ComposeInfo          `json:"compose"`
+	Nanos   int64                `json:"nanos"`
+	Engines wire.EngineSummaries `json:"engines"`
+}
+
+// InfoResponse describes one session.
+type InfoResponse struct {
+	Info    SessionInfo          `json:"info"`
+	Engines wire.EngineSummaries `json:"engines"`
+}
+
+// ListResponse enumerates live sessions, most recently used first.
+type ListResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	GET    /healthz                      liveness
+//	GET    /v1/stats                     server counters
+//	POST   /v1/sessions                  create (CreateRequest)
+//	GET    /v1/sessions                  list
+//	GET    /v1/sessions/{name}           info + engine summaries
+//	DELETE /v1/sessions/{name}           evict (engines invalidated)
+//	POST   /v1/sessions/{name}/edits     apply an edit batch
+//	POST   /v1/sessions/{name}/measure   incremental Table 1 measurement
+//	POST   /v1/sessions/{name}/compose   one composition pass
+//	GET    /v1/sessions/{name}/snapshot  event-sourced snapshot
+//	POST   /v1/sessions/restore          restore from a snapshot body
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
+
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req CreateRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		s, err := m.Create(req.Name, req.Source, req.Config)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, createResponse(s))
+	})
+
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, ListResponse{Sessions: m.List()})
+	})
+
+	mux.HandleFunc("POST /v1/sessions/restore", func(w http.ResponseWriter, r *http.Request) {
+		var snap Snapshot
+		if !readJSON(w, r, &snap) {
+			return
+		}
+		s, err := m.Restore("", &snap)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, createResponse(s))
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("name"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errSessionNotFound(r))
+			return
+		}
+		writeJSON(w, http.StatusOK, InfoResponse{
+			Info:    s.Info(),
+			Engines: wire.Engines(s.Engines()),
+		})
+	})
+
+	mux.HandleFunc("DELETE /v1/sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if !m.Evict(r.PathValue("name")) {
+			writeError(w, http.StatusNotFound, errSessionNotFound(r))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{name}/edits", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("name"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errSessionNotFound(r))
+			return
+		}
+		var req EditsRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		res, engs, err := s.Apply(req.Edits)
+		if err != nil && res == nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		resp := EditsResponse{
+			Applied: res.Applied,
+			Merged:  res.Merged,
+			Epoch:   res.Epoch,
+			Engines: wire.Engines(engs),
+		}
+		status := http.StatusOK
+		if err != nil {
+			// Partial application: report the applied prefix with the error
+			// rather than a bare failure — the batch is not transactional.
+			resp.Error = err.Error()
+			status = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, status, resp)
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{name}/measure", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("name"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errSessionNotFound(r))
+			return
+		}
+		t0 := time.Now()
+		met, engs, err := s.Measure()
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, MeasureResponse{
+			Metrics:   wire.FromMetrics(met),
+			Canonical: met.Canonical(),
+			Nanos:     time.Since(t0).Nanoseconds(),
+			Engines:   wire.Engines(engs),
+		})
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{name}/compose", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("name"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errSessionNotFound(r))
+			return
+		}
+		t0 := time.Now()
+		info, engs, err := s.Compose()
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ComposeResponse{
+			Compose: *info,
+			Nanos:   time.Since(t0).Nanoseconds(),
+			Engines: wire.Engines(engs),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("name"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errSessionNotFound(r))
+			return
+		}
+		snap, err := s.Snapshot()
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+
+	return mux
+}
+
+func createResponse(s *Session) CreateResponse {
+	info := s.Info()
+	return CreateResponse{
+		Name:    info.Name,
+		Design:  info.Design,
+		Epoch:   info.Epoch,
+		Ops:     info.Ops,
+		Engines: wire.Engines(s.Engines()),
+	}
+}
+
+func errSessionNotFound(r *http.Request) error {
+	return fmt.Errorf("serve: no session %q", r.PathValue("name"))
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrEvicted):
+		return http.StatusGone
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,635 @@
+// Package loadtest drives cmd/mbrserved's HTTP API with concurrent
+// deterministic edit streams and checks the service-level guarantees:
+//
+//   - Determinism: each stream's sequence of measurement bytes (the
+//     canonical metric serialization) must equal a single-threaded local
+//     flow.Session replay of the same op sequence — the server under
+//     concurrent multi-tenant load serves exactly the bytes the library
+//     produces in isolation.
+//   - Zero steady-state rebuilds: after one warmup measurement, the
+//     parametric edit stream (skews with an occasional move or resize)
+//     must stay on every retained engine's delta path — the per-response
+//     engine summaries' rebuild counters must not advance.
+//   - Liveness under readers: concurrent info/snapshot readers share each
+//     session's read lock and must all succeed while writers stream.
+//
+// Streams are generated from a seeded PRNG over the profile's register
+// landscape (regenerated locally — profile generation is deterministic),
+// so the same Options always replay the same traffic.
+package loadtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/flow"
+	"repro/internal/netlist"
+	"repro/internal/serve"
+	"repro/internal/serve/wire"
+)
+
+// Options configures a load run.
+type Options struct {
+	// BaseURL targets a running server; empty starts an in-process one.
+	BaseURL string `json:"baseURL,omitempty"`
+	// Profile and Scale pick the benchmark design every session loads.
+	Profile string `json:"profile"`
+	Scale   int    `json:"scale"`
+	// Sessions is the number of concurrent tenant streams.
+	Sessions int `json:"sessions"`
+	// Batches per session; BatchEdits edits per batch.
+	Batches    int `json:"batches"`
+	BatchEdits int `json:"batchEdits"`
+	// MeasureEvery inserts a measurement after every n-th batch.
+	MeasureEvery int `json:"measureEvery"`
+	// Readers is the number of concurrent info/snapshot reader goroutines.
+	Readers int `json:"readers"`
+	// Workers is the per-session engine worker-pool bound.
+	Workers int `json:"workers,omitempty"`
+	// Seed roots the per-stream PRNGs.
+	Seed int64 `json:"seed"`
+	// PoolSize is how many registers each stream edits (its ECO
+	// neighborhood). Streams with small pools keep the changed-slack
+	// fraction under the compatibility-graph engine's delta threshold;
+	// spraying edits across the whole design would legitimately overflow
+	// to a rebuild. 0 = 10.
+	PoolSize int `json:"poolSize,omitempty"`
+	// ComposeAtEnd runs one composition pass plus a final measurement per
+	// session after the steady-state window closes.
+	ComposeAtEnd bool `json:"composeAtEnd"`
+	// OracleSessions bounds how many streams get the (expensive) local
+	// single-threaded replay oracle; 0 = all of them.
+	OracleSessions int `json:"oracleSessions,omitempty"`
+}
+
+// DefaultOptions sizes a run that finishes in CI seconds yet still streams
+// thousands of edits across concurrent sessions.
+func DefaultOptions() Options {
+	return Options{
+		Profile:      "D1",
+		Scale:        40,
+		Sessions:     4,
+		Batches:      60,
+		BatchEdits:   10,
+		MeasureEvery: 1,
+		Readers:      3,
+		Seed:         1,
+		ComposeAtEnd: true,
+	}
+}
+
+// recenterThresholdDBU is the clock-tree re-center hysteresis every
+// harness session (and its local oracle replay) runs with. Without it a
+// single register move re-plans the domain tree and moves every buffer a
+// few DBU, shifting clock arrivals — and hence slacks — across the whole
+// domain: the compatibility-graph delta legitimately overflows to a
+// rebuild and the zero-rebuild guarantee is unachievable. Holding
+// membership-stable buffers put confines the ripple to the touched
+// clusters. 4000 DBU (~4µm) absorbs the drift a small edit pool produces
+// while still re-centering after genuine spatial shifts.
+const recenterThresholdDBU = 4000
+
+// compatMaxDeltaFrac raises the compatibility-graph delta threshold from
+// its batch-flow default of 0.25: a measure absorbing a double leaf
+// recluster legitimately carries ~25% changed nodes, right at the default
+// cliff. Interactive sessions prefer the delta path's latency consistency
+// over the cost heuristic's cliff edge.
+const compatMaxDeltaFrac = 0.5
+
+// sessionConfig is the one config every harness session is created with;
+// replayLocal mirrors it so the oracle replays identical engine behavior.
+func sessionConfig(o Options) serve.SessionConfig {
+	return serve.SessionConfig{
+		Workers:              o.Workers,
+		RecenterThresholdDBU: recenterThresholdDBU,
+		CompatMaxDeltaFrac:   compatMaxDeltaFrac,
+	}
+}
+
+// Result is the run's outcome and counters.
+type Result struct {
+	Sessions     int     `json:"sessions"`
+	Edits        int64   `json:"edits"`
+	Measures     int64   `json:"measures"`
+	Composes     int64   `json:"composes"`
+	ReaderHits   int64   `json:"readerHits"`
+	ElapsedMS    float64 `json:"elapsedMS"`
+	EditsPerSec  float64 `json:"editsPerSec"`
+	MeasureP50MS float64 `json:"measureP50MS"`
+	MeasureP99MS float64 `json:"measureP99MS"`
+	// SteadyRebuilds counts retained-engine rebuild-counter increments
+	// observed inside the steady-state window. The service guarantee is 0.
+	SteadyRebuilds int64 `json:"steadyRebuilds"`
+	// OracleStreams is how many streams were replayed locally; every one
+	// matched byte-for-byte (a mismatch fails the run).
+	OracleStreams int                `json:"oracleStreams"`
+	Stats         serve.ManagerStats `json:"stats"`
+}
+
+// stream is one session's deterministic op sequence: edit batches with
+// measurement points, generated up front so the HTTP run and the local
+// oracle replay the same ops.
+type stream struct {
+	name    string
+	batches [][]flow.Edit
+	measure []bool // measure[i]: measure after batch i
+}
+
+// reg is one movable register of the reference design.
+type reg struct {
+	name     string
+	pos      [2]int64
+	cells    []string // same class+width drive alternates, current first
+	skewable bool
+}
+
+// Run executes the load test. Any guarantee violation is returned as an
+// error; the Result carries the counters either way when the run got far
+// enough to have any.
+func Run(o Options) (*Result, error) {
+	if o.Sessions <= 0 || o.Batches <= 0 || o.BatchEdits <= 0 {
+		return nil, fmt.Errorf("loadtest: Sessions, Batches, BatchEdits must be > 0")
+	}
+	if o.MeasureEvery <= 0 {
+		o.MeasureEvery = 1
+	}
+
+	base := o.BaseURL
+	if base == "" {
+		mgr := serve.NewManager(serve.Options{MaxSessions: o.Sessions + 1})
+		ts := httptest.NewServer(serve.Handler(mgr))
+		defer ts.Close()
+		base = ts.URL
+	}
+	c := &client{base: base, hc: &http.Client{Timeout: 120 * time.Second}}
+
+	regs, err := referenceRegs(o.Profile, o.Scale)
+	if err != nil {
+		return nil, err
+	}
+	streams := make([]*stream, o.Sessions)
+	for i := range streams {
+		streams[i] = genStream(fmt.Sprintf("s%02d", i), regs, o, int64(i))
+	}
+
+	res := &Result{Sessions: o.Sessions}
+	t0 := time.Now()
+
+	// Writers: one goroutine per session streams its batches and checks
+	// the zero-rebuild guarantee from the per-response engine summaries.
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []float64
+		canon     = make([][]string, o.Sessions)
+		firstErr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	done := make(chan struct{})
+	for i, st := range streams {
+		wg.Add(1)
+		go func(idx int, st *stream) {
+			defer wg.Done()
+			lats, cs, rebuilds, err := c.runStream(st, o)
+			mu.Lock()
+			latencies = append(latencies, lats...)
+			canon[idx] = cs
+			res.SteadyRebuilds += rebuilds
+			mu.Unlock()
+			if err != nil {
+				fail(fmt.Errorf("loadtest: stream %s: %w", st.name, err))
+			}
+		}(i, st)
+	}
+
+	// Readers: hammer info/snapshot on random sessions until writers stop.
+	var readerWG sync.WaitGroup
+	for r := 0; r < o.Readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewSource(o.Seed ^ int64(0x5eed<<8) ^ int64(r)))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				name := streams[rng.Intn(len(streams))].name
+				hits, err := c.read(name)
+				mu.Lock()
+				res.ReaderHits += hits
+				mu.Unlock()
+				if err != nil {
+					fail(fmt.Errorf("loadtest: reader: %w", err))
+					return
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(done)
+	readerWG.Wait()
+	res.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+
+	if firstErr != nil {
+		return res, firstErr
+	}
+	if res.SteadyRebuilds != 0 {
+		return res, fmt.Errorf("loadtest: %d retained-engine rebuilds in the steady-state window (want 0)",
+			res.SteadyRebuilds)
+	}
+
+	// Determinism oracle: replay each stream on a fresh single-threaded
+	// local session and require byte-identical measurement sequences.
+	oracle := o.OracleSessions
+	if oracle <= 0 || oracle > len(streams) {
+		oracle = len(streams)
+	}
+	for i := 0; i < oracle; i++ {
+		want, err := replayLocal(streams[i], o)
+		if err != nil {
+			return res, fmt.Errorf("loadtest: oracle replay %s: %w", streams[i].name, err)
+		}
+		if len(want) != len(canon[i]) {
+			return res, fmt.Errorf("loadtest: oracle %s: %d measures, server saw %d",
+				streams[i].name, len(want), len(canon[i]))
+		}
+		for j := range want {
+			if want[j] != canon[i][j] {
+				return res, fmt.Errorf("loadtest: determinism violation: stream %s measure %d differs from local replay:\nserver:\n%slocal:\n%s",
+					streams[i].name, j, canon[i][j], want[j])
+			}
+		}
+	}
+	res.OracleStreams = oracle
+
+	// Counters and latency percentiles.
+	stats, err := c.stats()
+	if err != nil {
+		return res, err
+	}
+	res.Stats = *stats
+	res.Edits = stats.Edits
+	res.Measures = stats.Measures
+	res.Composes = stats.Composes
+	if res.ElapsedMS > 0 {
+		res.EditsPerSec = float64(res.Edits) / (res.ElapsedMS / 1000)
+	}
+	sort.Float64s(latencies)
+	res.MeasureP50MS = percentile(latencies, 0.50)
+	res.MeasureP99MS = percentile(latencies, 0.99)
+	return res, nil
+}
+
+// referenceRegs regenerates the profile locally and harvests its movable
+// registers: the landscape both the stream generator and the server's
+// sessions see, since profile generation is deterministic.
+func referenceRegs(profile string, scale int) ([]reg, error) {
+	spec, ok := bench.ProfileByName(profile, bench.ProfileOpts{Scale: scale})
+	if !ok {
+		return nil, fmt.Errorf("loadtest: unknown profile %q", profile)
+	}
+	bres, err := bench.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	d := bres.Design
+	var regs []reg
+	d.Insts(func(in *netlist.Inst) {
+		if in.Kind != netlist.KindReg || in.Fixed || in.RegCell == nil {
+			return
+		}
+		r := reg{name: in.Name, pos: [2]int64{in.Pos.X, in.Pos.Y}, skewable: true}
+		for _, c := range d.Lib.CellsOfWidth(in.RegCell.Class, in.RegCell.Bits) {
+			if c.Name == in.RegCell.Name {
+				r.cells = append([]string{c.Name}, r.cells...)
+			} else {
+				r.cells = append(r.cells, c.Name)
+			}
+		}
+		regs = append(regs, r)
+	})
+	// Morton order: a contiguous window is a spatial neighborhood, so a
+	// stream's edits land on few clock-tree leaves. A move or resize
+	// changes its leaf buffer's load and with it every sibling sink's
+	// clock arrival; spatially scattered pools would dirty enough of the
+	// compatibility graph to legitimately force rebuilds.
+	sort.Slice(regs, func(i, j int) bool {
+		mi, mj := morton(regs[i].pos), morton(regs[j].pos)
+		if mi != mj {
+			return mi < mj
+		}
+		return regs[i].name < regs[j].name
+	})
+	if len(regs) == 0 {
+		return nil, fmt.Errorf("loadtest: profile %s has no movable registers", profile)
+	}
+	return regs, nil
+}
+
+// genStream builds one session's deterministic parametric op sequence
+// over a contiguous pool of PoolSize registers (offset per stream) —
+// the localized neighborhood an interactive ECO session would work. Each
+// batch is skew-dominated with at most one move or resize: skews change a
+// single register's own slack, while a move/resize also re-loads its
+// clock-tree leaf and ripples arrivals across the sibling sinks, so the
+// move rate bounds the changed-slack set each measure must absorb on the
+// compatibility graph's delta path. Moves jitter a few hundred DBU around
+// the register's base position (small against cluster pitch, so leaf
+// membership stays stable), resizes walk the same-width drive alternates,
+// skews stay inside ±40ps.
+func genStream(name string, regs []reg, o Options, idx int64) *stream {
+	rng := rand.New(rand.NewSource(o.Seed + 7919*idx))
+	pool := o.PoolSize
+	if pool <= 0 {
+		pool = 10
+	}
+	if pool > len(regs) {
+		pool = len(regs)
+	}
+	start := int(idx) * pool % len(regs)
+	window := make([]reg, 0, pool)
+	for i := 0; i < pool; i++ {
+		window = append(window, regs[(start+i)%len(regs)])
+	}
+	regs = window
+	st := &stream{name: name}
+	for b := 0; b < o.Batches; b++ {
+		batch := make([]flow.Edit, 0, o.BatchEdits)
+		structural := rng.Intn(o.BatchEdits) // position of the batch's one move/resize
+		for e := 0; e < o.BatchEdits; e++ {
+			r := regs[rng.Intn(len(regs))]
+			switch {
+			case e == structural && rng.Intn(2) == 0:
+				batch = append(batch, flow.Edit{
+					Op: "move", Inst: r.name,
+					X: r.pos[0] + int64(rng.Intn(801)-400),
+					Y: r.pos[1] + int64(rng.Intn(801)-400),
+				})
+			case e == structural && len(r.cells) > 1:
+				batch = append(batch, flow.Edit{
+					Op: "resize", Inst: r.name,
+					Cell: r.cells[rng.Intn(len(r.cells))],
+				})
+			default:
+				batch = append(batch, flow.Edit{
+					Op: "skew", Inst: r.name,
+					SkewPS: float64(rng.Intn(81) - 40),
+				})
+			}
+		}
+		st.batches = append(st.batches, batch)
+		st.measure = append(st.measure, (b+1)%o.MeasureEvery == 0 || b == o.Batches-1)
+	}
+	return st
+}
+
+// replayLocal replays a stream's ops on a fresh single-threaded
+// flow.Session and returns the measurement canonical bytes in sequence,
+// mirroring what the server journals: warmup measure, batches with
+// measurement points, optional compose + final measure.
+func replayLocal(st *stream, o Options) ([]string, error) {
+	src := serve.Source{Profile: o.Profile, Scale: o.Scale}
+	d, plan, err := src.Load()
+	if err != nil {
+		return nil, err
+	}
+	cfg := flow.DefaultConfig()
+	cfg.Workers = 1
+	// Mirror sessionConfig: the oracle must run the engines exactly as the
+	// server does (hysteresis included) for the bytes to be comparable.
+	cfg.CTS.Tree.RecenterThresholdDBU = recenterThresholdDBU
+	cfg.Compat.MaxDeltaFrac = compatMaxDeltaFrac
+	fs, err := flow.NewSession(d, plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer fs.Close()
+	var out []string
+	met, err := fs.Measure() // warmup
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, met.Canonical())
+	for i, batch := range st.batches {
+		if _, err := fs.Apply(batch); err != nil {
+			return nil, fmt.Errorf("batch %d: %w", i, err)
+		}
+		if st.measure[i] {
+			met, err := fs.Measure()
+			if err != nil {
+				return nil, fmt.Errorf("measure after batch %d: %w", i, err)
+			}
+			out = append(out, met.Canonical())
+		}
+	}
+	if o.ComposeAtEnd {
+		if _, err := fs.ComposePass(); err != nil {
+			return nil, fmt.Errorf("compose: %w", err)
+		}
+		met, err := fs.Measure()
+		if err != nil {
+			return nil, fmt.Errorf("final measure: %w", err)
+		}
+		out = append(out, met.Canonical())
+	}
+	return out, nil
+}
+
+// client is the minimal JSON API client the harness needs.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+// runStream creates the session, streams its batches and returns the
+// measurement latencies, the canonical measurement bytes in sequence, and
+// the rebuild-counter increments observed inside the steady-state window.
+func (c *client) runStream(st *stream, o Options) (lats []float64, canon []string, rebuilds int64, err error) {
+	create := serve.CreateRequest{
+		Name:   st.name,
+		Source: serve.Source{Profile: o.Profile, Scale: o.Scale},
+		Config: sessionConfig(o),
+	}
+	var created serve.CreateResponse
+	if err = c.post("/v1/sessions", create, &created); err != nil {
+		return nil, nil, 0, fmt.Errorf("create: %w", err)
+	}
+
+	// Warmup measurement: the engines' first looks are full rebuilds by
+	// design; the steady-state window opens after this response.
+	var mres serve.MeasureResponse
+	if err = c.post("/v1/sessions/"+st.name+"/measure", struct{}{}, &mres); err != nil {
+		return nil, nil, 0, fmt.Errorf("warmup measure: %w", err)
+	}
+	canon = append(canon, mres.Canonical)
+	baseline := rebuildCount(mres.Engines)
+
+	for i, batch := range st.batches {
+		var eres serve.EditsResponse
+		if err = c.post("/v1/sessions/"+st.name+"/edits", serve.EditsRequest{Edits: batch}, &eres); err != nil {
+			return lats, canon, rebuilds, fmt.Errorf("batch %d: %w", i, err)
+		}
+		if eres.Error != "" {
+			return lats, canon, rebuilds, fmt.Errorf("batch %d: server: %s", i, eres.Error)
+		}
+		if n := rebuildCount(eres.Engines); n > baseline {
+			rebuilds += n - baseline
+			baseline = n
+		}
+		if st.measure[i] {
+			t0 := time.Now()
+			var m serve.MeasureResponse
+			if err = c.post("/v1/sessions/"+st.name+"/measure", struct{}{}, &m); err != nil {
+				return lats, canon, rebuilds, fmt.Errorf("measure after batch %d: %w", i, err)
+			}
+			lats = append(lats, float64(time.Since(t0).Microseconds())/1000)
+			canon = append(canon, m.Canonical)
+			if n := rebuildCount(m.Engines); n > baseline {
+				rebuilds += n - baseline
+				baseline = n
+			}
+		}
+	}
+
+	// The steady-state window closes here; composition legitimately pays
+	// for structural work (merges), so its rebuilds are not counted.
+	if o.ComposeAtEnd {
+		var cres serve.ComposeResponse
+		if err = c.post("/v1/sessions/"+st.name+"/compose", struct{}{}, &cres); err != nil {
+			return lats, canon, rebuilds, fmt.Errorf("compose: %w", err)
+		}
+		var m serve.MeasureResponse
+		if err = c.post("/v1/sessions/"+st.name+"/measure", struct{}{}, &m); err != nil {
+			return lats, canon, rebuilds, fmt.Errorf("final measure: %w", err)
+		}
+		canon = append(canon, m.Canonical)
+	}
+	return lats, canon, rebuilds, nil
+}
+
+// read performs one info + one snapshot request against a session. 404s
+// count as zero hits (the session may not exist yet), everything else
+// must succeed.
+func (c *client) read(name string) (int64, error) {
+	var hits int64
+	var info serve.InfoResponse
+	code, err := c.get("/v1/sessions/"+name, &info)
+	if err != nil {
+		return hits, err
+	}
+	if code == http.StatusOK {
+		hits++
+	} else if code != http.StatusNotFound {
+		return hits, fmt.Errorf("info %s: HTTP %d", name, code)
+	}
+	var snap serve.Snapshot
+	code, err = c.get("/v1/sessions/"+name+"/snapshot", &snap)
+	if err != nil {
+		return hits, err
+	}
+	if code == http.StatusOK {
+		hits++
+	} else if code != http.StatusNotFound {
+		return hits, fmt.Errorf("snapshot %s: HTTP %d", name, code)
+	}
+	return hits, nil
+}
+
+func (c *client) stats() (*serve.ManagerStats, error) {
+	var st serve.ManagerStats
+	code, err := c.get("/v1/stats", &st)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("stats: HTTP %d", code)
+	}
+	return &st, nil
+}
+
+func (c *client) post(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("POST %s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return json.Unmarshal(data, out)
+}
+
+func (c *client) get(path string, out any) (int, error) {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// rebuildCount sums the rebuild counters across a response's retained
+// engines; a constant sum across a window means every op in it was served
+// on a delta path.
+func rebuildCount(engs wire.EngineSummaries) int64 {
+	var n int64
+	for _, s := range engs {
+		n += int64(s.Rebuilds)
+	}
+	return n
+}
+
+// morton interleaves the position's coarse (row/column-granular) bits so
+// sorting by it walks the core in a locality-preserving curve.
+func morton(pos [2]int64) uint64 {
+	x := uint64(pos[0]) >> 10 // ~1µm granularity: same-neighborhood ties
+	y := uint64(pos[1]) >> 10
+	var m uint64
+	for b := 0; b < 32; b++ {
+		m |= (x>>b&1)<<(2*b) | (y>>b&1)<<(2*b+1)
+	}
+	return m
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

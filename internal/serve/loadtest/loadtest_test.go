@@ -1,0 +1,33 @@
+package loadtest
+
+import "testing"
+
+// TestSmoke runs a scaled-down harness pass in-process: concurrent edit
+// streams against the HTTP server, every stream checked byte-for-byte
+// against its local replay oracle, with zero steady-state rebuild
+// fallbacks across all retained engines.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load harness smoke is not a -short test")
+	}
+	o := DefaultOptions()
+	o.Sessions = 2
+	o.Batches = 12
+	o.Readers = 2
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyRebuilds != 0 {
+		t.Fatalf("steady-state rebuilds = %d, want 0", res.SteadyRebuilds)
+	}
+	if res.OracleStreams != o.Sessions {
+		t.Fatalf("oracle streams verified = %d, want %d", res.OracleStreams, o.Sessions)
+	}
+	if want := int64(o.Sessions * o.Batches * o.BatchEdits); res.Edits != want {
+		t.Fatalf("edits = %d, want %d", res.Edits, want)
+	}
+	if res.Measures == 0 || res.Composes != int64(o.Sessions) {
+		t.Fatalf("measures=%d composes=%d", res.Measures, res.Composes)
+	}
+}
