@@ -23,11 +23,15 @@ import (
 //	merge    Group, Name[, Cell, X, Y]  merge registers into one MBR
 //	connect  Inst, Pin, Bit, Net attach a pin to a net
 //	disconnect Inst, Pin, Bit    detach a pin from its net
+//
+// X and Y are pointers so absent and zero are distinct on the wire: a
+// merge without coordinates takes the group centroid, while an explicit
+// {"x":0,"y":0} places the MBR at the origin.
 type Edit struct {
 	Op     string   `json:"op"`
 	Inst   string   `json:"inst,omitempty"`
-	X      int64    `json:"x,omitempty"`
-	Y      int64    `json:"y,omitempty"`
+	X      *int64   `json:"x,omitempty"`
+	Y      *int64   `json:"y,omitempty"`
 	Cell   string   `json:"cell,omitempty"`
 	SkewPS float64  `json:"skewPS,omitempty"`
 	Group  []string `json:"group,omitempty"`
@@ -36,6 +40,9 @@ type Edit struct {
 	Pin    string   `json:"pin,omitempty"`
 	Bit    int      `json:"bit,omitempty"`
 }
+
+// Coord wraps a coordinate value for Edit's optional X/Y pointer fields.
+func Coord(v int64) *int64 { return &v }
 
 // ApplyResult reports what an edit batch did.
 type ApplyResult struct {
@@ -89,7 +96,10 @@ func (s *Session) applyEdit(e Edit, res *ApplyResult) error {
 		if in.Fixed {
 			return fmt.Errorf("instance %q is fixed", e.Inst)
 		}
-		s.d.MoveInst(in, geom.Point{X: e.X, Y: e.Y})
+		if e.X == nil || e.Y == nil {
+			return fmt.Errorf("move needs both x and y")
+		}
+		s.d.MoveInst(in, geom.Point{X: *e.X, Y: *e.Y})
 		return nil
 
 	case "resize":
@@ -157,6 +167,13 @@ func (s *Session) applyEdit(e Edit, res *ApplyResult) error {
 // composition engine's conventions: scan-aware merge order, clock pins
 // released to the domain root first, scan plan updated, and the new MBR
 // legalized incrementally.
+//
+// Every fallible check runs before the first mutation, and the clock
+// release is rolled back if the netlist merge is still rejected, so a
+// failed merge edit is side-effect free. The journal-keeping caller
+// (internal/serve) depends on that: a failed edit is not journaled, and
+// any surviving mutation would make snapshot replay diverge from the live
+// session.
 func (s *Session) applyMerge(e Edit, res *ApplyResult) error {
 	if len(e.Group) < 2 {
 		return fmt.Errorf("merge needs >= 2 group members")
@@ -166,6 +183,7 @@ func (s *Session) applyMerge(e Edit, res *ApplyResult) error {
 	}
 	insts := make([]*netlist.Inst, len(e.Group))
 	ids := make([]netlist.InstID, len(e.Group))
+	members := make(map[netlist.InstID]bool, len(e.Group))
 	totalBits := 0
 	for i, name := range e.Group {
 		in, err := s.liveInst(name)
@@ -175,12 +193,21 @@ func (s *Session) applyMerge(e Edit, res *ApplyResult) error {
 		if in.Kind != netlist.KindReg {
 			return fmt.Errorf("group member %q is not a register", name)
 		}
+		if in.Fixed || in.SizeOnly {
+			return fmt.Errorf("group member %q is fixed/size-only", name)
+		}
+		if members[in.ID] {
+			return fmt.Errorf("group member %q listed twice", name)
+		}
+		members[in.ID] = true
 		insts[i] = in
 		ids[i] = in.ID
 		totalBits += in.Bits()
 	}
-	if s.plan != nil && !s.plan.GroupCompatible(ids) {
-		return fmt.Errorf("group is not scan-compatible")
+	// The MBR name must be free; a group member's own name is fine since
+	// the member dies in the merge.
+	if ex := s.d.InstByName(e.Name); ex != nil && !members[ex.ID] {
+		return fmt.Errorf("instance %q already exists", e.Name)
 	}
 
 	// Cell: explicit, or the smallest fitting width of the first member's
@@ -200,10 +227,31 @@ func (s *Session) applyMerge(e Edit, res *ApplyResult) error {
 			return fmt.Errorf("no %d-bit cell for class %s", width, class.Key())
 		}
 	}
+	if totalBits > cell.Bits {
+		return fmt.Errorf("%d bits exceed %d-bit cell %q", totalBits, cell.Bits, cell.Name)
+	}
 
-	// Position: explicit, or the group centroid snapped to the site grid.
-	pos := geom.Point{X: e.X, Y: e.Y}
-	if e.X == 0 && e.Y == 0 {
+	// Shared control nets must agree. The clock is exempt here: members on
+	// different tree leaf nets are released to their common domain root
+	// below, which is exactly what makes their clock nets agree.
+	for _, kind := range []netlist.PinKind{netlist.PinReset, netlist.PinEnable, netlist.PinScanEnable} {
+		ref := s.d.ControlNet(insts[0], kind)
+		for _, in := range insts[1:] {
+			if s.d.ControlNet(in, kind) != ref {
+				return fmt.Errorf("group member %q disagrees on %v net", in.Name, kind)
+			}
+		}
+	}
+
+	// Position: explicit (both coordinates — zero is a real position), or
+	// the group centroid snapped to the site grid.
+	var pos geom.Point
+	switch {
+	case e.X != nil && e.Y != nil:
+		pos = geom.Point{X: *e.X, Y: *e.Y}
+	case e.X != nil || e.Y != nil:
+		return fmt.Errorf("merge position needs both x and y")
+	default:
 		var sx, sy int64
 		for _, in := range insts {
 			sx += in.Pos.X
@@ -213,7 +261,10 @@ func (s *Session) applyMerge(e Edit, res *ApplyResult) error {
 	}
 
 	// Merge order: scan order when scanned (MergeRegisters packs bits in
-	// group order, and scan stitching follows that order).
+	// group order, and scan stitching follows that order). MergeOrder and
+	// GroupCompatible are read-only; checking compatibility on the exact
+	// ordered IDs handed to plan.ApplyMerge later makes its internal
+	// re-check infallible.
 	ordered := insts
 	if s.plan != nil {
 		mo := s.plan.MergeOrder(ids)
@@ -226,12 +277,37 @@ func (s *Session) applyMerge(e Edit, res *ApplyResult) error {
 	for i, in := range ordered {
 		memberIDs[i] = in.ID
 	}
+	if s.plan != nil && !s.plan.GroupCompatible(memberIDs) {
+		return fmt.Errorf("group is not scan-compatible")
+	}
+
+	// Commit. MergeRegisters validates before it tears anything down, so
+	// its only remaining failure mode after the checks above is a clock
+	// (or other control) net disagreement that the release did not unify —
+	// members from different clock domains. On that rejection the released
+	// clock pins are re-parented onto their original nets so the failed
+	// edit leaves no trace.
+	prevClk := make([]netlist.NetID, len(ordered))
+	for i, in := range ordered {
+		prevClk[i] = s.d.ClockNet(in)
+	}
 	s.engs.cts.ReleaseClocks(ordered)
 	mr, err := s.d.MergeRegisters(ordered, cell, e.Name, pos)
 	if err != nil {
+		s.d.WithEditClass(netlist.EditClassCTS, func() {
+			for i, in := range ordered {
+				cp := s.d.ClockPin(in)
+				if cp == nil || prevClk[i] == netlist.NoID || cp.Net == prevClk[i] {
+					continue
+				}
+				s.d.Connect(cp, s.d.Net(prevClk[i]))
+			}
+		})
 		return err
 	}
 	if s.plan != nil {
+		// Pre-validated above on the same memberIDs; nothing in between
+		// touches the plan, so this cannot fail.
 		if err := s.plan.ApplyMerge(memberIDs, mr.MBR.ID); err != nil {
 			return err
 		}

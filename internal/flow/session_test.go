@@ -79,7 +79,7 @@ func TestApplyEditOps(t *testing.T) {
 	}
 
 	res, err := s.Apply([]Edit{
-		{Op: "move", Inst: r1.Name, X: r1.Pos.X + 500, Y: r1.Pos.Y},
+		{Op: "move", Inst: r1.Name, X: Coord(r1.Pos.X + 500), Y: Coord(r1.Pos.Y)},
 		{Op: "skew", Inst: r2.Name, SkewPS: 12},
 	})
 	if err != nil {
@@ -118,8 +118,8 @@ func TestApplyStopsAtFirstFailure(t *testing.T) {
 	})
 	epoch0 := s.Epoch()
 	res, err := s.Apply([]Edit{
-		{Op: "move", Inst: r1.Name, X: r1.Pos.X + 200, Y: r1.Pos.Y},
-		{Op: "move", Inst: "no_such_instance", X: 1, Y: 1},
+		{Op: "move", Inst: r1.Name, X: Coord(r1.Pos.X + 200), Y: Coord(r1.Pos.Y)},
+		{Op: "move", Inst: "no_such_instance", X: Coord(1), Y: Coord(1)},
 		{Op: "skew", Inst: r1.Name, SkewPS: 9},
 	})
 	if err == nil {
@@ -138,6 +138,55 @@ func TestApplyStopsAtFirstFailure(t *testing.T) {
 	}
 	if _, err := s.Apply([]Edit{{Op: "merge", Group: []string{r1.Name}, Name: "m"}}); err == nil {
 		t.Fatal("merge with 1 member must fail")
+	}
+}
+
+// TestRejectedMergeEditIsSideEffectFree pins the validate-then-commit
+// contract of the merge edit: a rejected merge must not mutate the design
+// at all (the serve journal skips failed edits, so any surviving mutation
+// would break snapshot replay). The epoch is the strongest witness — it
+// advances on every tracked mutation.
+func TestRejectedMergeEditIsSideEffectFree(t *testing.T) {
+	s, _ := sessionBench(t, DefaultConfig())
+	var regs []*netlist.Inst
+	s.Design().Insts(func(in *netlist.Inst) {
+		if in.Kind == netlist.KindReg && !in.Fixed && len(regs) < 3 {
+			regs = append(regs, in)
+		}
+	})
+	if len(regs) < 3 {
+		t.Fatal("need three movable registers")
+	}
+	epoch0 := s.Epoch()
+
+	cases := []Edit{
+		// MBR name collides with a live non-member instance.
+		{Op: "merge", Group: []string{regs[0].Name, regs[1].Name}, Name: regs[2].Name},
+		// A group member listed twice.
+		{Op: "merge", Group: []string{regs[0].Name, regs[0].Name}, Name: "mbr_dup"},
+		// Explicit position with only one coordinate.
+		{Op: "merge", Group: []string{regs[0].Name, regs[1].Name}, Name: "mbr_pos", X: Coord(0)},
+	}
+	for _, e := range cases {
+		if _, err := s.Apply([]Edit{e}); err == nil {
+			t.Fatalf("merge %+v should have been rejected", e)
+		}
+	}
+	for _, r := range regs[:2] {
+		if s.Design().InstByName(r.Name) == nil {
+			t.Fatalf("rejected merge destroyed %q", r.Name)
+		}
+	}
+	if got := s.Epoch(); got != epoch0 {
+		t.Fatalf("rejected merges mutated the design: epoch %d -> %d", epoch0, got)
+	}
+
+	// A move without both coordinates is rejected before mutating, too.
+	if _, err := s.Apply([]Edit{{Op: "move", Inst: regs[0].Name, X: Coord(1)}}); err == nil {
+		t.Fatal("move without y must fail")
+	}
+	if got := s.Epoch(); got != epoch0 {
+		t.Fatal("rejected move mutated the design")
 	}
 }
 

@@ -117,6 +117,7 @@ func (d *Design) MergeRegisters(group []*Inst, cell *lib.Cell, name string, pos 
 		return nil, fmt.Errorf("netlist: MergeRegisters with empty group")
 	}
 	totalBits := 0
+	members := make(map[InstID]bool, len(group))
 	for _, in := range group {
 		if in == nil || in.dead {
 			return nil, fmt.Errorf("netlist: MergeRegisters: dead instance in group")
@@ -127,7 +128,18 @@ func (d *Design) MergeRegisters(group []*Inst, cell *lib.Cell, name string, pos 
 		if in.Fixed || in.SizeOnly {
 			return nil, fmt.Errorf("netlist: MergeRegisters: %q is fixed/size-only", in.Name)
 		}
+		if members[in.ID] {
+			return nil, fmt.Errorf("netlist: MergeRegisters: %q listed twice", in.Name)
+		}
+		members[in.ID] = true
 		totalBits += in.Bits()
+	}
+	// The MBR name must be free — reusing a group member's own name is
+	// fine, since the member is dead by the time the MBR is created.
+	// Checked here so that every fallible check runs before the RemoveInst
+	// teardown below: a rejected merge must never have destroyed the group.
+	if ex := d.InstByName(name); ex != nil && !members[ex.ID] {
+		return nil, fmt.Errorf("netlist: MergeRegisters: instance %q already exists", name)
 	}
 	if totalBits > cell.Bits {
 		return nil, fmt.Errorf("netlist: MergeRegisters: %d bits exceed %d-bit cell", totalBits, cell.Bits)

@@ -276,6 +276,40 @@ func TestMergeRejectsControlMismatch(t *testing.T) {
 	}
 }
 
+// TestMergeRejectsBeforeTeardown pins the validate-then-commit contract: a
+// rejected merge must leave the group untouched. A name collision with a
+// live non-member instance (or a doubled group member) is detected before
+// any RemoveInst, so the registers survive the failed call.
+func TestMergeRejectsBeforeTeardown(t *testing.T) {
+	d, r1, r2 := buildPair(t)
+	if _, err := d.MergeRegisters([]*Inst{r1, r2}, cellOf(t, 2), "in_a", geom.Point{}); err == nil ||
+		!strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("err = %v, want name collision", err)
+	}
+	if _, err := d.MergeRegisters([]*Inst{r1, r2, r1}, cellOf(t, 4), "m", geom.Point{}); err == nil ||
+		!strings.Contains(err.Error(), "listed twice") {
+		t.Fatalf("err = %v, want duplicate member", err)
+	}
+	for _, r := range []*Inst{r1, r2} {
+		if d.Inst(r.ID) == nil || d.InstByName(r.Name) == nil {
+			t.Fatalf("rejected merge destroyed %q", r.Name)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("design damaged by rejected merge: %v", err)
+	}
+
+	// Reusing a group member's own name is legal: the member is dead by
+	// the time the MBR is created.
+	res, err := d.MergeRegisters([]*Inst{r1, r2}, cellOf(t, 2), "r1", geom.Point{X: 2000, Y: 1200})
+	if err != nil {
+		t.Fatalf("merge reusing member name: %v", err)
+	}
+	if got := d.InstByName("r1"); got != res.MBR {
+		t.Fatal("MBR should own the reused name")
+	}
+}
+
 func TestMergeRejectsOverflowAndFixed(t *testing.T) {
 	d, r1, r2 := buildPair(t)
 	if _, err := d.MergeRegisters([]*Inst{r1, r2}, cellOf(t, 1), "m", geom.Point{}); err == nil {

@@ -262,10 +262,21 @@ func statusFor(err error) int {
 	}
 }
 
+// maxRequestBytes bounds request bodies so one oversized POST cannot
+// allocate unbounded server memory. Generous because a restore body
+// carries a full design snapshot plus its edit journal.
+const maxRequestBytes = 64 << 20
+
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode request: %w", err))
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, fmt.Errorf("serve: decode request: %w", err))
 		return false
 	}
 	return true

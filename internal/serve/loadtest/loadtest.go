@@ -380,8 +380,8 @@ func genStream(name string, regs []reg, o Options, idx int64) *stream {
 			case e == structural && rng.Intn(2) == 0:
 				batch = append(batch, flow.Edit{
 					Op: "move", Inst: r.name,
-					X: r.pos[0] + int64(rng.Intn(801)-400),
-					Y: r.pos[1] + int64(rng.Intn(801)-400),
+					X: flow.Coord(r.pos[0] + int64(rng.Intn(801)-400)),
+					Y: flow.Coord(r.pos[1] + int64(rng.Intn(801)-400)),
 				})
 			case e == structural && len(r.cells) > 1:
 				batch = append(batch, flow.Edit{

@@ -128,7 +128,7 @@ func TestSessionJournalAndInfo(t *testing.T) {
 		t.Fatalf("info counters: %+v", info)
 	}
 	// A failing batch journals only its applied prefix.
-	bad := append(edits[:1:1], flow.Edit{Op: "move", Inst: "no_such", X: 1, Y: 1})
+	bad := append(edits[:1:1], flow.Edit{Op: "move", Inst: "no_such", X: flow.Coord(1), Y: flow.Coord(1)})
 	if _, _, err := s.Apply(bad); err == nil {
 		t.Fatal("expected failing batch")
 	}
@@ -206,7 +206,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 		t.Fatalf("applied %d", eres.Applied)
 	}
 	// Partial failure: 422 with the applied prefix and the error string.
-	bad := []flow.Edit{edits[0], {Op: "move", Inst: "no_such", X: 1, Y: 1}}
+	bad := []flow.Edit{edits[0], {Op: "move", Inst: "no_such", X: flow.Coord(1), Y: flow.Coord(1)}}
 	if code := post("/v1/sessions/h/edits", EditsRequest{Edits: bad}, &eres); code != http.StatusUnprocessableEntity {
 		t.Fatalf("partial batch = %d", code)
 	}

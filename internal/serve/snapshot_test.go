@@ -52,7 +52,7 @@ func editScript(t *testing.T, src Source) [][]flow.Edit {
 			{Op: "skew", Inst: movable[1].name, SkewPS: -7},
 		},
 		{
-			{Op: "move", Inst: movable[2].name, X: movable[2].x + 640, Y: movable[2].y},
+			{Op: "move", Inst: movable[2].name, X: flow.Coord(movable[2].x + 640), Y: flow.Coord(movable[2].y)},
 			{Op: "skew", Inst: movable[3].name, SkewPS: 23},
 		},
 		{
