@@ -6,11 +6,12 @@
 #   make bench      # paper-reproduction benchmark suite
 #   make bench-smoke # one-iteration benchmark pass (CI: catches bit-rot)
 #   make serve-smoke # composition-server load harness (determinism + zero rebuilds)
+#   make eco-smoke  # ECO-replay load harness (bank/debank rounds) under -race
 #   make golden     # regenerate flow golden files after an intended change
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-smoke serve-smoke golden fuzz
+.PHONY: all build test race lint bench bench-smoke serve-smoke eco-smoke golden fuzz
 
 all: build test
 
@@ -43,6 +44,14 @@ bench-smoke:
 # retained-engine rebuilds allowed in the steady-state window.
 serve-smoke:
 	$(GO) run ./cmd/mbrserved -selftest -sessions 2 -batches 20
+
+# The ECO-replay profile of the same harness: logic edits interleaved with
+# bank (merge edits), debank (split edits), compose and slack-driven
+# decompose rounds. The same guarantees must hold with structural ops in
+# the stream — byte-identical oracle replay and zero steady-state
+# rebuilds — and -race exercises the session locking around the passes.
+eco-smoke:
+	$(GO) run -race ./cmd/mbrserved -selftest -eco
 
 golden:
 	$(GO) test ./internal/flow -run TestGolden -update

@@ -19,9 +19,11 @@ package repro
 // suite runs in well under a minute.
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -1029,4 +1031,126 @@ func BenchmarkILP_WarmVsCold(b *testing.B) {
 	}
 	b.Run("improved", func(b *testing.B) { run(b, improved) })
 	b.Run("unchanged", func(b *testing.B) { run(b, unchanged) })
+}
+
+// BenchmarkBankDebankLoop closes the bank/debank ECO loop on the
+// 8-bit-rich D4 profile: a compose-only baseline versus rounds of
+// slack-driven decompose (violating MBRs debanked under a budget, the
+// slack relief measured in the debanked state), restore (stranded bits
+// re-banked to their original widths) and recomposition. Each round's
+// debanked measurement records how much WNS the violating cones recover
+// when their MBRs are split; the restore+recompose closes the round so
+// the loop converges instead of fragmenting 8-bit groups permanently.
+// The loop must end with WNS no worse and the register count no higher
+// than the compose-only baseline. The WNS/register trajectory of the
+// last run is written to BENCH_eco.json.
+func BenchmarkBankDebankLoop(b *testing.B) {
+	spec := profileByName("D4")
+	const rounds = 3
+	dcfg := flow.DecomposeConfig{Budget: 8, SlackThresholdPS: 0}
+
+	type point struct {
+		Step  string  `json:"step"`
+		WNSPS float64 `json:"wnsPS"`
+		Regs  int     `json:"regs"`
+	}
+	type trajectory struct {
+		Profile    string  `json:"profile"`
+		Scale      int     `json:"scale"`
+		Rounds     int     `json:"rounds"`
+		Budget     int     `json:"budget"`
+		BaseWNSPS  float64 `json:"baselineWNSPS"`
+		BaseRegs   int     `json:"baselineRegs"`
+		FinalWNSPS float64 `json:"finalWNSPS"`
+		FinalRegs  int     `json:"finalRegs"`
+		Restored   int     `json:"restored"`
+		Steps      []point `json:"steps"`
+	}
+
+	newSession := func() *flow.Session {
+		gen, err := bench.Generate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := flow.NewSession(gen.Design, gen.Plan, flow.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	measure := func(s *flow.Session) flow.Metrics {
+		m, err := s.Measure()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+
+	var last trajectory
+	for i := 0; i < b.N; i++ {
+		// Compose-only baseline.
+		base := newSession()
+		if _, err := base.ComposePass(); err != nil {
+			b.Fatal(err)
+		}
+		bm := measure(base)
+		base.Close()
+
+		// The ECO loop: decompose → measure debanked → restore → recompose.
+		tr := trajectory{Profile: spec.Name, Scale: benchScale, Rounds: rounds,
+			Budget: dcfg.Budget, BaseWNSPS: bm.WNSPS, BaseRegs: bm.TotalRegs}
+		eco := newSession()
+		if _, err := eco.ComposePass(); err != nil {
+			b.Fatal(err)
+		}
+		m := measure(eco)
+		tr.Steps = append(tr.Steps, point{"compose", m.WNSPS, m.TotalRegs})
+		restored := 0
+		for r := 0; r < rounds; r++ {
+			dres, err := eco.DecomposePassWith(dcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m = measure(eco)
+			tr.Steps = append(tr.Steps, point{
+				fmt.Sprintf("decompose[%d victims]", len(dres.Victims)), m.WNSPS, m.TotalRegs})
+			n, err := eco.RestorePass()
+			if err != nil {
+				b.Fatal(err)
+			}
+			restored += n
+			if _, err := eco.ComposePass(); err != nil {
+				b.Fatal(err)
+			}
+			m = measure(eco)
+			tr.Steps = append(tr.Steps, point{"restore+recompose", m.WNSPS, m.TotalRegs})
+		}
+		tr.Restored = restored
+		tr.FinalWNSPS, tr.FinalRegs = m.WNSPS, m.TotalRegs
+		eco.Close()
+
+		if tr.FinalWNSPS < tr.BaseWNSPS {
+			b.Fatalf("bank/debank loop worsened WNS: %.3f ps, baseline %.3f ps",
+				tr.FinalWNSPS, tr.BaseWNSPS)
+		}
+		if tr.FinalRegs > tr.BaseRegs {
+			b.Fatalf("bank/debank loop grew registers: %d, baseline %d",
+				tr.FinalRegs, tr.BaseRegs)
+		}
+		last = tr
+	}
+
+	b.ReportMetric(last.BaseWNSPS, "base_wns_ps")
+	b.ReportMetric(last.FinalWNSPS, "final_wns_ps")
+	b.ReportMetric(float64(last.BaseRegs), "base_regs")
+	b.ReportMetric(float64(last.FinalRegs), "final_regs")
+	b.ReportMetric(float64(last.Restored), "restored")
+
+	enc, err := json.MarshalIndent(last, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_eco.json", append(enc, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }

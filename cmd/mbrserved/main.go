@@ -7,12 +7,19 @@
 //
 //	mbrserved -addr 127.0.0.1:8337
 //	curl -s -X POST localhost:8337/v1/sessions -d '{"name":"a","source":{"profile":"D1","scale":200}}'
-//	curl -s -X POST localhost:8337/v1/sessions/a/edits -d '{"edits":[{"op":"skew","inst":"r0001","skewPS":12}]}'
+//	curl -s -X POST localhost:8337/v1/sessions/a/edits -d '{"edits":[{"skew":{"inst":"r0001","skewPS":12}}]}'
 //	curl -s -X POST localhost:8337/v1/sessions/a/measure
+//	curl -s -X POST localhost:8337/v1/sessions/a/decompose -d '{"decompose":{"budget":4}}'
+//
+// Edits use the v2 tagged envelope (one op key per record); the v1 flat
+// {"op": ...} form is still decoded for old journals and scripts.
 //
 // -selftest runs the concurrent edit-stream load harness against an
 // in-process server and prints its JSON result (determinism oracle,
 // zero-rebuild steady-state assertion, throughput and latency counters).
+// -eco switches the harness to the ECO-replay stream profile: logic edits
+// interleaved with bank (merge), debank (split), compose and slack-driven
+// decompose rounds, replayed against the same byte-identity oracle.
 package main
 
 import (
@@ -45,6 +52,10 @@ func main() {
 		workers  = flag.Int("workers", 0, "selftest: per-session engine workers (0 = per CPU)")
 		seed     = flag.Int64("seed", def.Seed, "selftest: stream PRNG seed")
 		oracle   = flag.Int("oracle", 0, "selftest: streams to verify against local replay (0 = all)")
+
+		ecoDef   = loadtest.DefaultECOOptions()
+		eco      = flag.Bool("eco", false, "selftest: ECO-replay stream profile (interleaves bank/debank/compose/decompose rounds)")
+		ecoEvery = flag.Int("eco-every", ecoDef.ECOEvery, "selftest: parametric batches between ECO rounds")
 	)
 	flag.Parse()
 
@@ -62,6 +73,27 @@ func main() {
 			Seed:           *seed,
 			ComposeAtEnd:   true,
 			OracleSessions: *oracle,
+			ECO:            *eco,
+			ECOEvery:       *ecoEvery,
+		}
+		if *eco {
+			// The ECO profile carries its own sizing defaults; explicit
+			// flags still win where the user set them.
+			if !flagWasSet("scale") {
+				o.Scale = ecoDef.Scale
+			}
+			if !flagWasSet("sessions") {
+				o.Sessions = ecoDef.Sessions
+			}
+			if !flagWasSet("batches") {
+				o.Batches = ecoDef.Batches
+			}
+			if !flagWasSet("batch-edits") {
+				o.BatchEdits = ecoDef.BatchEdits
+			}
+			if !flagWasSet("measure-every") {
+				o.MeasureEvery = ecoDef.MeasureEvery
+			}
 		}
 		res, err := loadtest.Run(o)
 		if res != nil {
@@ -79,4 +111,16 @@ func main() {
 	m := serve.NewManager(serve.Options{MaxSessions: *maxSessions})
 	log.Printf("mbrserved listening on %s (max %d sessions)", *addr, *maxSessions)
 	log.Fatal(http.ListenAndServe(*addr, serve.Handler(m)))
+}
+
+// flagWasSet reports whether the named flag was given explicitly on the
+// command line (as opposed to resting at its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

@@ -279,7 +279,9 @@ func runAblationDecompose(scale int) {
 			label = "decompose"
 		}
 		rep := runFlow(spec, func(cfg *flow.Config) {
-			cfg.DecomposeExisting = decompose
+			if decompose {
+				cfg.Decompose = flow.DecomposeConfig{All: true}
+			}
 		})
 		fmt.Printf("%-12s %9d %10.2f %9.0f %10d %10d\n",
 			label, rep.Ours.TotalRegs, rep.Ours.ClkCapPF, rep.Ours.AreaUM2,

@@ -4,9 +4,16 @@
 // so every retained engine picks the change up on its delta path. Edits
 // reference instances, nets and cells by name — names are stable across
 // serialize/reload round trips, instance IDs are not.
+//
+// Wire format v2: an Edit is an envelope holding exactly one tagged
+// per-op payload ({"move": {...}}, {"split": {...}}, ...), each with its
+// own Validate. The v1 flat form ({"op": "move", "inst": ..., ...}) is
+// still decoded — existing serve journals and snapshots restore
+// bit-identically — but encoding always emits v2.
 package flow
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/geom"
@@ -14,20 +21,291 @@ import (
 	"repro/internal/place"
 )
 
-// Edit is one streamed design edit. Op selects the operation; the other
-// fields are operands (unused ones stay zero).
-//
-//	move     Inst, X, Y          reposition an instance
-//	resize   Inst, Cell          swap a register's cell (same class/width)
-//	skew     Inst, SkewPS        assign useful clock skew to a register
-//	merge    Group, Name[, Cell, X, Y]  merge registers into one MBR
-//	connect  Inst, Pin, Bit, Net attach a pin to a net
-//	disconnect Inst, Pin, Bit    detach a pin from its net
-//
-// X and Y are pointers so absent and zero are distinct on the wire: a
-// merge without coordinates takes the group centroid, while an explicit
-// {"x":0,"y":0} places the MBR at the origin.
+// MoveEdit repositions an instance. X and Y are pointers so absent and
+// zero are distinct on the wire; both are required (see Validate).
+type MoveEdit struct {
+	Inst string `json:"inst"`
+	X    *int64 `json:"x"`
+	Y    *int64 `json:"y"`
+}
+
+// Validate checks the payload's wire-level shape.
+func (e *MoveEdit) Validate() error {
+	if e.Inst == "" {
+		return fmt.Errorf("move needs an instance name")
+	}
+	if e.X == nil || e.Y == nil {
+		return fmt.Errorf("move needs both x and y")
+	}
+	return nil
+}
+
+// ResizeEdit swaps a register's cell for a same-class same-width
+// alternate.
+type ResizeEdit struct {
+	Inst string `json:"inst"`
+	Cell string `json:"cell"`
+}
+
+// Validate checks the payload's wire-level shape.
+func (e *ResizeEdit) Validate() error {
+	if e.Inst == "" {
+		return fmt.Errorf("resize needs an instance name")
+	}
+	if e.Cell == "" {
+		return fmt.Errorf("resize needs a cell name")
+	}
+	return nil
+}
+
+// SkewEdit assigns useful clock skew to a register.
+type SkewEdit struct {
+	Inst   string  `json:"inst"`
+	SkewPS float64 `json:"skewPS"`
+}
+
+// Validate checks the payload's wire-level shape.
+func (e *SkewEdit) Validate() error {
+	if e.Inst == "" {
+		return fmt.Errorf("skew needs an instance name")
+	}
+	return nil
+}
+
+// MergeEdit merges the named registers into one MBR. Cell is optional
+// (the smallest fitting width of the first member's class); X/Y are
+// optional together (default: group centroid snapped to the site grid).
+type MergeEdit struct {
+	Group []string `json:"group"`
+	Name  string   `json:"name"`
+	Cell  string   `json:"cell,omitempty"`
+	X     *int64   `json:"x,omitempty"`
+	Y     *int64   `json:"y,omitempty"`
+}
+
+// Validate checks the payload's wire-level shape.
+func (e *MergeEdit) Validate() error {
+	if len(e.Group) < 2 {
+		return fmt.Errorf("merge needs >= 2 group members")
+	}
+	if e.Name == "" {
+		return fmt.Errorf("merge needs a name for the MBR")
+	}
+	if (e.X == nil) != (e.Y == nil) {
+		return fmt.Errorf("merge position needs both x and y")
+	}
+	return nil
+}
+
+// SplitEdit decomposes a multi-bit register into per-bit instances named
+// <inst>_b<bit> (the exact inverse of a merge). Cell is optional: the
+// 1-bit cell of the register's class at its drive strength.
+type SplitEdit struct {
+	Inst string `json:"inst"`
+	Cell string `json:"cell,omitempty"`
+}
+
+// Validate checks the payload's wire-level shape.
+func (e *SplitEdit) Validate() error {
+	if e.Inst == "" {
+		return fmt.Errorf("split needs an instance name")
+	}
+	return nil
+}
+
+// ConnectEdit attaches a pin to a net.
+type ConnectEdit struct {
+	Inst string `json:"inst"`
+	Pin  string `json:"pin"`
+	Bit  int    `json:"bit,omitempty"`
+	Net  string `json:"net"`
+}
+
+// Validate checks the payload's wire-level shape.
+func (e *ConnectEdit) Validate() error {
+	if e.Inst == "" {
+		return fmt.Errorf("connect needs an instance name")
+	}
+	if e.Pin == "" {
+		return fmt.Errorf("connect needs a pin kind")
+	}
+	if e.Bit < 0 {
+		return fmt.Errorf("connect bit must be >= 0")
+	}
+	if e.Net == "" {
+		return fmt.Errorf("connect needs a net name")
+	}
+	return nil
+}
+
+// DisconnectEdit detaches a pin from its net.
+type DisconnectEdit struct {
+	Inst string `json:"inst"`
+	Pin  string `json:"pin"`
+	Bit  int    `json:"bit,omitempty"`
+}
+
+// Validate checks the payload's wire-level shape.
+func (e *DisconnectEdit) Validate() error {
+	if e.Inst == "" {
+		return fmt.Errorf("disconnect needs an instance name")
+	}
+	if e.Pin == "" {
+		return fmt.Errorf("disconnect needs a pin kind")
+	}
+	if e.Bit < 0 {
+		return fmt.Errorf("disconnect bit must be >= 0")
+	}
+	return nil
+}
+
+// Edit is one streamed design edit: an envelope with exactly one op
+// payload set. Construct with the helpers (MoveTo, Resize, ...) or by
+// setting one field; Validate rejects empty and ambiguous envelopes.
 type Edit struct {
+	Move       *MoveEdit       `json:"move,omitempty"`
+	Resize     *ResizeEdit     `json:"resize,omitempty"`
+	Skew       *SkewEdit       `json:"skew,omitempty"`
+	Merge      *MergeEdit      `json:"merge,omitempty"`
+	Split      *SplitEdit      `json:"split,omitempty"`
+	Connect    *ConnectEdit    `json:"connect,omitempty"`
+	Disconnect *DisconnectEdit `json:"disconnect,omitempty"`
+}
+
+// MoveTo builds a move edit.
+func MoveTo(inst string, x, y int64) Edit {
+	return Edit{Move: &MoveEdit{Inst: inst, X: &x, Y: &y}}
+}
+
+// Resize builds a resize edit.
+func Resize(inst, cell string) Edit {
+	return Edit{Resize: &ResizeEdit{Inst: inst, Cell: cell}}
+}
+
+// Skew builds a skew edit.
+func Skew(inst string, ps float64) Edit {
+	return Edit{Skew: &SkewEdit{Inst: inst, SkewPS: ps}}
+}
+
+// MergeGroup builds a merge edit with defaulted cell and position.
+func MergeGroup(name string, group ...string) Edit {
+	return Edit{Merge: &MergeEdit{Name: name, Group: group}}
+}
+
+// SplitInst builds a split edit with the defaulted 1-bit cell.
+func SplitInst(inst string) Edit {
+	return Edit{Split: &SplitEdit{Inst: inst}}
+}
+
+// Coord wraps a coordinate value for the optional X/Y pointer fields.
+func Coord(v int64) *int64 { return &v }
+
+// Op returns the envelope's operation tag ("move", "split", ...), or ""
+// when no payload is set. Ambiguous envelopes report the first set tag;
+// Validate rejects them.
+func (e Edit) Op() string {
+	switch {
+	case e.Move != nil:
+		return "move"
+	case e.Resize != nil:
+		return "resize"
+	case e.Skew != nil:
+		return "skew"
+	case e.Merge != nil:
+		return "merge"
+	case e.Split != nil:
+		return "split"
+	case e.Connect != nil:
+		return "connect"
+	case e.Disconnect != nil:
+		return "disconnect"
+	}
+	return ""
+}
+
+// Validate checks the envelope holds exactly one payload and that the
+// payload's wire-level shape is complete. Semantic checks (the instance
+// exists, the cell fits, the group is scan-compatible) happen at apply
+// time against the design.
+func (e Edit) Validate() error {
+	n := 0
+	var err error
+	for _, p := range []struct {
+		set bool
+		v   interface{ Validate() error }
+	}{
+		{e.Move != nil, e.Move},
+		{e.Resize != nil, e.Resize},
+		{e.Skew != nil, e.Skew},
+		{e.Merge != nil, e.Merge},
+		{e.Split != nil, e.Split},
+		{e.Connect != nil, e.Connect},
+		{e.Disconnect != nil, e.Disconnect},
+	} {
+		if p.set {
+			n++
+			err = p.v.Validate()
+		}
+	}
+	switch {
+	case n == 0:
+		return fmt.Errorf("edit has no operation (unknown op?)")
+	case n > 1:
+		return fmt.Errorf("edit sets %d operations, want exactly 1", n)
+	}
+	return err
+}
+
+// Clone deep-copies the edit (the payloads are pointers; journals must
+// not alias caller-owned memory).
+func (e Edit) Clone() Edit {
+	var out Edit
+	if e.Move != nil {
+		m := *e.Move
+		m.X, m.Y = cloneCoord(m.X), cloneCoord(m.Y)
+		out.Move = &m
+	}
+	if e.Resize != nil {
+		r := *e.Resize
+		out.Resize = &r
+	}
+	if e.Skew != nil {
+		s := *e.Skew
+		out.Skew = &s
+	}
+	if e.Merge != nil {
+		m := *e.Merge
+		m.Group = append([]string(nil), m.Group...)
+		m.X, m.Y = cloneCoord(m.X), cloneCoord(m.Y)
+		out.Merge = &m
+	}
+	if e.Split != nil {
+		s := *e.Split
+		out.Split = &s
+	}
+	if e.Connect != nil {
+		c := *e.Connect
+		out.Connect = &c
+	}
+	if e.Disconnect != nil {
+		d := *e.Disconnect
+		out.Disconnect = &d
+	}
+	return out
+}
+
+func cloneCoord(p *int64) *int64 {
+	if p == nil {
+		return nil
+	}
+	v := *p
+	return &v
+}
+
+// editV1 is the retired flat wire form: Op selected the operation, the
+// remaining fields were operands. Decoded for journal/snapshot
+// compatibility; never emitted.
+type editV1 struct {
 	Op     string   `json:"op"`
 	Inst   string   `json:"inst,omitempty"`
 	X      *int64   `json:"x,omitempty"`
@@ -41,8 +319,69 @@ type Edit struct {
 	Bit    int      `json:"bit,omitempty"`
 }
 
-// Coord wraps a coordinate value for Edit's optional X/Y pointer fields.
-func Coord(v int64) *int64 { return &v }
+// editV2 mirrors Edit without methods, so the custom decoder below can use
+// the stock struct decoding for the tagged form.
+type editV2 struct {
+	Move       *MoveEdit       `json:"move,omitempty"`
+	Resize     *ResizeEdit     `json:"resize,omitempty"`
+	Skew       *SkewEdit       `json:"skew,omitempty"`
+	Merge      *MergeEdit      `json:"merge,omitempty"`
+	Split      *SplitEdit      `json:"split,omitempty"`
+	Connect    *ConnectEdit    `json:"connect,omitempty"`
+	Disconnect *DisconnectEdit `json:"disconnect,omitempty"`
+}
+
+// UnmarshalJSON decodes the v2 tagged form, falling back to the v1 flat
+// form when an "op" key is present — v1 serve journals and snapshots
+// restore bit-identically. A v1 record with an unknown op is rejected at
+// decode time (it could never have been journaled).
+func (e *Edit) UnmarshalJSON(data []byte) error {
+	var probe struct {
+		Op *string `json:"op"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return err
+	}
+	if probe.Op != nil {
+		var v1 editV1
+		if err := json.Unmarshal(data, &v1); err != nil {
+			return err
+		}
+		dec, err := v1.upgrade()
+		if err != nil {
+			return err
+		}
+		*e = dec
+		return nil
+	}
+	var v2 editV2
+	if err := json.Unmarshal(data, &v2); err != nil {
+		return err
+	}
+	*e = Edit(v2)
+	return nil
+}
+
+// upgrade maps a v1 flat record onto the v2 envelope.
+func (v editV1) upgrade() (Edit, error) {
+	switch v.Op {
+	case "move":
+		return Edit{Move: &MoveEdit{Inst: v.Inst, X: v.X, Y: v.Y}}, nil
+	case "resize":
+		return Edit{Resize: &ResizeEdit{Inst: v.Inst, Cell: v.Cell}}, nil
+	case "skew":
+		return Edit{Skew: &SkewEdit{Inst: v.Inst, SkewPS: v.SkewPS}}, nil
+	case "merge":
+		return Edit{Merge: &MergeEdit{Group: v.Group, Name: v.Name, Cell: v.Cell, X: v.X, Y: v.Y}}, nil
+	case "split":
+		return Edit{Split: &SplitEdit{Inst: v.Inst, Cell: v.Cell}}, nil
+	case "connect":
+		return Edit{Connect: &ConnectEdit{Inst: v.Inst, Pin: v.Pin, Bit: v.Bit, Net: v.Net}}, nil
+	case "disconnect":
+		return Edit{Disconnect: &DisconnectEdit{Inst: v.Inst, Pin: v.Pin, Bit: v.Bit}}, nil
+	}
+	return Edit{}, fmt.Errorf("flow: unknown op %q in v1 edit record", v.Op)
+}
 
 // ApplyResult reports what an edit batch did.
 type ApplyResult struct {
@@ -52,6 +391,8 @@ type ApplyResult struct {
 	Applied int `json:"applied"`
 	// Merged names the MBR instances merge edits created, in batch order.
 	Merged []string `json:"merged,omitempty"`
+	// Split names the registers split edits decomposed, in batch order.
+	Split []string `json:"split,omitempty"`
 	// Epoch is the design's edit epoch after the batch.
 	Epoch uint64 `json:"epoch"`
 }
@@ -78,7 +419,11 @@ func (s *Session) Apply(edits []Edit) (*ApplyResult, error) {
 		if err := s.applyEdit(e, res); err != nil {
 			res.Applied = i
 			res.Epoch = s.d.Epoch()
-			return res, fmt.Errorf("flow: edit %d (%s): %w", i, e.Op, err)
+			op := e.Op()
+			if op == "" {
+				op = "none"
+			}
+			return res, fmt.Errorf("flow: edit %d (%s): %w", i, op, err)
 		}
 	}
 	res.Applied = len(edits)
@@ -87,80 +432,83 @@ func (s *Session) Apply(edits []Edit) (*ApplyResult, error) {
 }
 
 func (s *Session) applyEdit(e Edit, res *ApplyResult) error {
-	switch e.Op {
-	case "move":
-		in, err := s.liveInst(e.Inst)
+	// Wire-level shape first: exactly one op, payload complete. Everything
+	// after this dispatches on the one set payload.
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case e.Move != nil:
+		in, err := s.liveInst(e.Move.Inst)
 		if err != nil {
 			return err
 		}
 		if in.Fixed {
-			return fmt.Errorf("instance %q is fixed", e.Inst)
+			return fmt.Errorf("instance %q is fixed", e.Move.Inst)
 		}
-		if e.X == nil || e.Y == nil {
-			return fmt.Errorf("move needs both x and y")
-		}
-		s.d.MoveInst(in, geom.Point{X: *e.X, Y: *e.Y})
+		s.d.MoveInst(in, geom.Point{X: *e.Move.X, Y: *e.Move.Y})
 		return nil
 
-	case "resize":
-		in, err := s.liveInst(e.Inst)
+	case e.Resize != nil:
+		in, err := s.liveInst(e.Resize.Inst)
 		if err != nil {
 			return err
 		}
-		cell := s.d.Lib.CellByName(e.Cell)
+		cell := s.d.Lib.CellByName(e.Resize.Cell)
 		if cell == nil {
-			return fmt.Errorf("unknown cell %q", e.Cell)
+			return fmt.Errorf("unknown cell %q", e.Resize.Cell)
 		}
 		return s.d.ResizeRegister(in, cell)
 
-	case "skew":
-		in, err := s.liveInst(e.Inst)
+	case e.Skew != nil:
+		in, err := s.liveInst(e.Skew.Inst)
 		if err != nil {
 			return err
 		}
 		if in.Kind != netlist.KindReg {
-			return fmt.Errorf("instance %q is not a register", e.Inst)
+			return fmt.Errorf("instance %q is not a register", e.Skew.Inst)
 		}
 		// Skew feeds the retained timing engine directly, not the netlist;
 		// the engine's incremental run diffs per-register skews itself, so
 		// no touched-ring entry is needed.
-		s.engs.sta.SetSkew(in.ID, e.SkewPS)
+		s.engs.sta.SetSkew(in.ID, e.Skew.SkewPS)
 		return nil
 
-	case "merge":
-		return s.applyMerge(e, res)
+	case e.Merge != nil:
+		return s.applyMerge(e.Merge, res)
 
-	case "connect":
-		p, err := s.findPin(e)
+	case e.Split != nil:
+		return s.applySplit(e.Split, res)
+
+	case e.Connect != nil:
+		p, err := s.findPin(e.Connect.Inst, e.Connect.Pin, e.Connect.Bit)
 		if err != nil {
 			return err
 		}
 		var net *netlist.Net
 		s.d.Nets(func(n *netlist.Net) {
-			if n.Name == e.Net {
+			if n.Name == e.Connect.Net {
 				net = n
 			}
 		})
 		if net == nil {
-			return fmt.Errorf("unknown net %q", e.Net)
+			return fmt.Errorf("unknown net %q", e.Connect.Net)
 		}
 		if p.Dir == netlist.DirOut && net.Driver != netlist.NoID && net.Driver != p.ID {
-			return fmt.Errorf("net %q already driven", e.Net)
+			return fmt.Errorf("net %q already driven", e.Connect.Net)
 		}
 		s.d.Connect(p, net)
 		return nil
 
-	case "disconnect":
-		p, err := s.findPin(e)
+	case e.Disconnect != nil:
+		p, err := s.findPin(e.Disconnect.Inst, e.Disconnect.Pin, e.Disconnect.Bit)
 		if err != nil {
 			return err
 		}
 		s.d.Disconnect(p)
 		return nil
-
-	default:
-		return fmt.Errorf("unknown op %q", e.Op)
 	}
+	return fmt.Errorf("edit has no operation")
 }
 
 // applyMerge merges the named registers into one MBR, following the
@@ -174,13 +522,7 @@ func (s *Session) applyEdit(e Edit, res *ApplyResult) error {
 // (internal/serve) depends on that: a failed edit is not journaled, and
 // any surviving mutation would make snapshot replay diverge from the live
 // session.
-func (s *Session) applyMerge(e Edit, res *ApplyResult) error {
-	if len(e.Group) < 2 {
-		return fmt.Errorf("merge needs >= 2 group members")
-	}
-	if e.Name == "" {
-		return fmt.Errorf("merge needs a name for the MBR")
-	}
+func (s *Session) applyMerge(e *MergeEdit, res *ApplyResult) error {
 	insts := make([]*netlist.Inst, len(e.Group))
 	ids := make([]netlist.InstID, len(e.Group))
 	members := make(map[netlist.InstID]bool, len(e.Group))
@@ -246,12 +588,9 @@ func (s *Session) applyMerge(e Edit, res *ApplyResult) error {
 	// Position: explicit (both coordinates — zero is a real position), or
 	// the group centroid snapped to the site grid.
 	var pos geom.Point
-	switch {
-	case e.X != nil && e.Y != nil:
+	if e.X != nil && e.Y != nil {
 		pos = geom.Point{X: *e.X, Y: *e.Y}
-	case e.X != nil || e.Y != nil:
-		return fmt.Errorf("merge position needs both x and y")
-	default:
+	} else {
 		var sx, sy int64
 		for _, in := range insts {
 			sx += in.Pos.X
@@ -317,6 +656,57 @@ func (s *Session) applyMerge(e Edit, res *ApplyResult) error {
 	return nil
 }
 
+// applySplit decomposes the named register into per-bit instances — the
+// exact inverse of a merge edit. SplitRegister carries the same
+// validate-then-commit contract as MergeRegisters, so with the cell
+// resolved up front a failed split edit is side-effect free. The new bits
+// inherit the original's clock-tree leaf net, which the retained tree
+// engine adopts on its delta path (no clock release needed), and are
+// legalized incrementally like a merge's MBR.
+func (s *Session) applySplit(e *SplitEdit, res *ApplyResult) error {
+	in, err := s.liveInst(e.Inst)
+	if err != nil {
+		return err
+	}
+	if in.Kind != netlist.KindReg || in.RegCell == nil {
+		return fmt.Errorf("instance %q is not a register", e.Inst)
+	}
+	if in.Bits() < 2 {
+		return fmt.Errorf("register %q is already single-bit", e.Inst)
+	}
+	// Cell: explicit, or the 1-bit cell of the register's class at its
+	// drive strength.
+	cell := s.d.Lib.CellByName(e.Cell)
+	if e.Cell != "" && cell == nil {
+		return fmt.Errorf("unknown cell %q", e.Cell)
+	}
+	if cell == nil {
+		cell = s.d.Lib.SelectCell(in.RegCell.Class, 1, in.RegCell.DriveRes)
+		if cell == nil {
+			return fmt.Errorf("no 1-bit cell for class %s", in.RegCell.Class.Key())
+		}
+	}
+	origID, origName := in.ID, in.Name
+	parts, err := s.d.SplitRegister(in, cell)
+	if err != nil {
+		return err
+	}
+	ids := make([]netlist.InstID, len(parts))
+	for i, p := range parts {
+		ids[i] = p.ID
+	}
+	if s.plan != nil {
+		// The parts are brand-new instances, never on a chain, so the only
+		// ApplySplit failure mode (a part already chained) cannot occur.
+		if err := s.plan.ApplySplit(origID, ids); err != nil {
+			return err
+		}
+	}
+	place.LegalizeIncremental(s.d, parts)
+	res.Split = append(res.Split, origName)
+	return nil
+}
+
 func (s *Session) liveInst(name string) (*netlist.Inst, error) {
 	if name == "" {
 		return nil, fmt.Errorf("missing instance name")
@@ -328,18 +718,18 @@ func (s *Session) liveInst(name string) (*netlist.Inst, error) {
 	return in, nil
 }
 
-func (s *Session) findPin(e Edit) (*netlist.Pin, error) {
-	in, err := s.liveInst(e.Inst)
+func (s *Session) findPin(inst, pin string, bit int) (*netlist.Pin, error) {
+	in, err := s.liveInst(inst)
 	if err != nil {
 		return nil, err
 	}
-	kind, ok := pinKinds[e.Pin]
+	kind, ok := pinKinds[pin]
 	if !ok {
-		return nil, fmt.Errorf("unknown pin kind %q", e.Pin)
+		return nil, fmt.Errorf("unknown pin kind %q", pin)
 	}
-	p := s.d.FindPin(in, kind, e.Bit)
+	p := s.d.FindPin(in, kind, bit)
 	if p == nil {
-		return nil, fmt.Errorf("no %s[%d] pin on %q", e.Pin, e.Bit, e.Inst)
+		return nil, fmt.Errorf("no %s[%d] pin on %q", pin, bit, inst)
 	}
 	return p, nil
 }

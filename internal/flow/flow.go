@@ -28,7 +28,6 @@ import (
 	"repro/internal/lib"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
-	"repro/internal/place"
 	"repro/internal/route"
 	"repro/internal/scan"
 	"repro/internal/sta"
@@ -114,11 +113,17 @@ type Config struct {
 	Sizing bool
 	// SizingMarginPS is the slack that must remain after a downsize.
 	SizingMarginPS float64
-	// DecomposeExisting implements the paper's future-work idea (§5): the
-	// maximum-width MBRs that composition would skip are first decomposed
-	// into single-bit registers so their bits can recompose with
-	// neighbours. Most useful on designs already rich in 8-bit MBRs (the
-	// D4 situation).
+	// Decompose configures the slack-driven decomposition pass (the
+	// bank/debank loop's debank direction): victims picked from the STA
+	// changed-slack feed, worst cones first, bounded by Decompose.Budget.
+	// In Run's one-shot flow an enabled config decomposes before the first
+	// compose and restores leftovers after the last; sessions drive
+	// DecomposePass/RestorePass directly.
+	Decompose DecomposeConfig
+	// DecomposeExisting is the legacy debank-all flag, kept as an alias
+	// for Decompose.All (the paper's §5 future-work preset: split every
+	// max-width MBR before the first compose). Most useful on designs
+	// already rich in 8-bit MBRs (the D4 situation).
 	DecomposeExisting bool
 	// Workers bounds the worker pools the parallel stages fan out across:
 	// the per-partition composition stages (clique enumeration, candidate
@@ -173,7 +178,20 @@ func (c Config) Validate() error {
 	if c.CTS.Tree.RecenterThresholdDBU < 0 {
 		return fmt.Errorf("flow: Config.CTS.Tree.RecenterThresholdDBU = %d: must be >= 0 (0 disables hysteresis)", c.CTS.Tree.RecenterThresholdDBU)
 	}
+	if c.Decompose.Budget < 0 {
+		return fmt.Errorf("flow: Config.Decompose.Budget = %d: must be >= 0 (0 disables the pass)", c.Decompose.Budget)
+	}
 	return nil
+}
+
+// normalizedDecompose folds the legacy DecomposeExisting alias into the
+// decompose config: the old flag is exactly the All preset.
+func (c Config) normalizedDecompose() DecomposeConfig {
+	dc := c.Decompose
+	if c.DecomposeExisting {
+		dc.All = true
+	}
+	return dc
 }
 
 // DefaultConfig returns the paper-default flow.
@@ -223,9 +241,11 @@ type Report struct {
 	// SkewedMBRs and ResizedMBRs count the post-composition optimizations.
 	SkewedMBRs  int
 	ResizedMBRs int
-	// DecomposedMBRs counts max-width MBRs split before composition (only
-	// with Config.DecomposeExisting); RestoredMBRs counts the merges that
-	// re-grouped leftover split bits afterwards.
+	// DecomposedMBRs counts the MBRs the decompose pass split before
+	// composition (Config.Decompose, or the legacy DecomposeExisting
+	// alias); RestoredMBRs counts the merges that re-grouped leftover
+	// split bits afterwards. Both come from the one decompose/restore code
+	// path the session passes share.
 	DecomposedMBRs int
 	RestoredMBRs   int
 	// ComposeTime is the MBR composition + optimization wall time (the
@@ -337,17 +357,20 @@ func (s *Session) runFlow() (*Report, error) {
 	}
 	rep.Base = base
 
-	// ---- Optional future-work step: decompose max-width MBRs so their
-	// bits can recompose with neighbours; leftovers are restored after
-	// composition. ----
-	var splitGroups []splitGroup
-	if cfg.DecomposeExisting {
-		var err error
-		splitGroups, err = decomposeMaxWidth(d, plan)
+	// ---- Optional bank/debank step: decompose MBRs (every max-width one
+	// under the All preset, else the worst-slack cones up to the budget) so
+	// their bits can recompose with neighbours; leftovers are restored
+	// after composition. One code path serves this, the session's
+	// DecomposePass and the ablations — the report counts always agree.
+	dcfg := cfg.normalizedDecompose()
+	if dcfg.enabled() {
+		eng.SetIdealClocks(true)
+		dres, err := s.decomposePass(dcfg)
+		eng.SetIdealClocks(false)
 		if err != nil {
 			return nil, fmt.Errorf("flow: decompose: %w", err)
 		}
-		rep.DecomposedMBRs = len(splitGroups)
+		rep.DecomposedMBRs = len(dres.Victims)
 	}
 
 	// ---- Incremental MBR composition (ideal clocks, as post-place timing
@@ -400,8 +423,10 @@ func (s *Session) runFlow() (*Report, error) {
 	}
 	newMBRs = live
 
-	if cfg.DecomposeExisting {
-		n, err := restoreSplitLeftovers(d, plan, splitGroups, engs.cts.ReleaseClocks)
+	if dcfg.enabled() {
+		groups := s.splitGroups
+		s.splitGroups = nil
+		n, err := restoreSplitLeftovers(d, plan, groups, engs.cts.ReleaseClocks, 0)
 		if err != nil {
 			return nil, fmt.Errorf("flow: restore: %w", err)
 		}
@@ -558,146 +583,6 @@ type swapRecord struct {
 
 type swapTarget struct {
 	cell *lib.Cell
-}
-
-// splitGroup remembers one decomposed MBR so leftover bits can be restored
-// after recomposition.
-type splitGroup struct {
-	class    lib.FuncClass
-	driveRes float64
-	parts    []netlist.InstID
-}
-
-// decomposeMaxWidth splits every movable register sitting at its class's
-// maximum library width into single-bit registers, updating the scan plan,
-// and legalizes the new cells incrementally.
-func decomposeMaxWidth(d *netlist.Design, plan *scan.Plan) ([]splitGroup, error) {
-	var victims []*netlist.Inst
-	for _, r := range d.Registers() {
-		if r.Fixed || r.SizeOnly || r.Bits() < 2 {
-			continue
-		}
-		class := r.RegCell.Class
-		if r.Bits() != d.Lib.MaxWidth(class) {
-			continue
-		}
-		if len(d.Lib.CellsOfWidth(class, 1)) == 0 {
-			continue
-		}
-		victims = append(victims, r)
-	}
-	var created []*netlist.Inst
-	var groups []splitGroup
-	for _, r := range victims {
-		cell := d.Lib.SelectCell(r.RegCell.Class, 1, r.RegCell.DriveRes)
-		origID := r.ID
-		class, res := r.RegCell.Class, r.RegCell.DriveRes
-		parts, err := d.SplitRegister(r, cell)
-		if err != nil {
-			return nil, err
-		}
-		ids := make([]netlist.InstID, len(parts))
-		for i, p := range parts {
-			ids[i] = p.ID
-		}
-		if plan != nil {
-			if err := plan.ApplySplit(origID, ids); err != nil {
-				return nil, err
-			}
-		}
-		created = append(created, parts...)
-		groups = append(groups, splitGroup{class: class, driveRes: res, parts: ids})
-	}
-	// Deliberately NOT legalized here: the split bits sit on (and slightly
-	// past) the old MBR footprint, so candidate enumeration sees them as
-	// the tight clean groups they are. Scattering them first would strand
-	// bits behind blocked polygons. restoreSplitLeftovers legalizes
-	// whatever survives after recomposition.
-	_ = created
-	return groups, nil
-}
-
-// restoreSplitLeftovers re-merges the decomposed bits that recomposition
-// left as single-bit registers, so virtual decomposition can never end
-// worse than keeping the original MBRs. Survivors of one original MBR are
-// grouped into scan-compatible runs and merged into the smallest fitting
-// width. Returns the number of restore merges.
-func restoreSplitLeftovers(d *netlist.Design, plan *scan.Plan, groups []splitGroup, release func([]*netlist.Inst)) (int, error) {
-	restored := 0
-	var created []*netlist.Inst
-	for gi, g := range groups {
-		var survivors []*netlist.Inst
-		for _, id := range g.parts {
-			if in := d.Inst(id); in != nil && in.Bits() == 1 {
-				survivors = append(survivors, in)
-			}
-		}
-		// Chunk survivors into scan-compatible runs of at most maxWidth.
-		maxW := d.Lib.MaxWidth(g.class)
-		for len(survivors) >= 2 {
-			run := []*netlist.Inst{survivors[0]}
-			rest := survivors[1:]
-			for len(rest) > 0 && len(run) < maxW {
-				cand := append(run, rest[0])
-				if plan != nil {
-					ids := make([]netlist.InstID, len(cand))
-					for i, in := range cand {
-						ids[i] = in.ID
-					}
-					if !plan.GroupCompatible(ids) {
-						break
-					}
-				}
-				run = cand
-				rest = rest[1:]
-			}
-			survivors = rest
-			if len(run) < 2 {
-				continue
-			}
-			width, ok := d.Lib.SmallestWidthAtLeast(g.class, len(run))
-			if !ok {
-				continue
-			}
-			cell := d.Lib.SelectCell(g.class, width, g.driveRes)
-			var sx, sy int64
-			for _, in := range run {
-				sx += in.Pos.X
-				sy += in.Pos.Y
-			}
-			pos := geomSnap(d, sx/int64(len(run)), sy/int64(len(run)))
-			ids := make([]netlist.InstID, len(run))
-			for i, in := range run {
-				ids[i] = in.ID
-			}
-			if release != nil {
-				release(run)
-			}
-			mr, err := d.MergeRegisters(run, cell, fmt.Sprintf("restored_%d_%d", gi, restored), pos)
-			if err != nil {
-				return restored, err
-			}
-			if plan != nil {
-				if err := plan.ApplyMerge(ids, mr.MBR.ID); err != nil {
-					return restored, err
-				}
-			}
-			created = append(created, mr.MBR)
-			restored++
-		}
-	}
-	// Legalize everything the decomposition left behind: the restore
-	// merges and any stranded single bits (which were never given legal
-	// sites after the split).
-	for _, g := range groups {
-		for _, id := range g.parts {
-			if in := d.Inst(id); in != nil {
-				created = append(created, in)
-			}
-		}
-	}
-	place.LegalizeIncremental(d, created)
-	return restored, nil
 }
 
 func geomSnap(d *netlist.Design, x, y int64) (p geom.Point) {

@@ -34,6 +34,16 @@ type Session struct {
 	// Config.Passes).
 	passSeq int
 
+	// splitGroups accumulates what DecomposePass split so RestorePass can
+	// re-merge the leftovers; restoredGroups offsets restore-merge names
+	// across repeated bank/debank rounds.
+	splitGroups    []splitGroup
+	restoredGroups int
+	// slackCursor/slackSeen track the session's read position in the STA
+	// engine's changed-slack feed (victim selection for DecomposePass).
+	slackCursor uint64
+	slackSeen   bool
+
 	prevCap int
 	capSet  bool
 	closed  bool

@@ -42,6 +42,7 @@ func TestConfigValidateRejectsEachField(t *testing.T) {
 		}},
 		{"Compat.MaxDeltaFrac", func(c *Config) { c.Compat.MaxDeltaFrac = -0.1 }},
 		{"CTS.Tree.RecenterThresholdDBU", func(c *Config) { c.CTS.Tree.RecenterThresholdDBU = -100 }},
+		{"Decompose.Budget", func(c *Config) { c.Decompose.Budget = -1 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -79,8 +80,8 @@ func TestApplyEditOps(t *testing.T) {
 	}
 
 	res, err := s.Apply([]Edit{
-		{Op: "move", Inst: r1.Name, X: Coord(r1.Pos.X + 500), Y: Coord(r1.Pos.Y)},
-		{Op: "skew", Inst: r2.Name, SkewPS: 12},
+		MoveTo(r1.Name, r1.Pos.X+500, r1.Pos.Y),
+		Skew(r2.Name, 12),
 	})
 	if err != nil {
 		t.Fatalf("apply: %v", err)
@@ -99,7 +100,7 @@ func TestApplyEditOps(t *testing.T) {
 		if alt.Name == r1.RegCell.Name {
 			alt = alts[1]
 		}
-		if _, err := s.Apply([]Edit{{Op: "resize", Inst: r1.Name, Cell: alt.Name}}); err != nil {
+		if _, err := s.Apply([]Edit{Resize(r1.Name, alt.Name)}); err != nil {
 			t.Fatalf("resize: %v", err)
 		}
 		if got := s.Design().InstByName(r1.Name).RegCell.Name; got != alt.Name {
@@ -118,9 +119,9 @@ func TestApplyStopsAtFirstFailure(t *testing.T) {
 	})
 	epoch0 := s.Epoch()
 	res, err := s.Apply([]Edit{
-		{Op: "move", Inst: r1.Name, X: Coord(r1.Pos.X + 200), Y: Coord(r1.Pos.Y)},
-		{Op: "move", Inst: "no_such_instance", X: Coord(1), Y: Coord(1)},
-		{Op: "skew", Inst: r1.Name, SkewPS: 9},
+		MoveTo(r1.Name, r1.Pos.X+200, r1.Pos.Y),
+		MoveTo("no_such_instance", 1, 1),
+		Skew(r1.Name, 9),
 	})
 	if err == nil {
 		t.Fatal("expected error for unknown instance")
@@ -132,11 +133,21 @@ func TestApplyStopsAtFirstFailure(t *testing.T) {
 		t.Fatal("prefix edit should have advanced the epoch")
 	}
 
-	if _, err := s.Apply([]Edit{{Op: "frobnicate"}}); err == nil ||
-		!strings.Contains(err.Error(), "unknown op") {
-		t.Fatalf("unknown op error = %v", err)
+	// An empty envelope (the decoded form of a v1 record with an op the
+	// decoder knows but no payload match, or a hand-built zero Edit) is
+	// rejected at validation.
+	if _, err := s.Apply([]Edit{{}}); err == nil ||
+		!strings.Contains(err.Error(), "no operation") {
+		t.Fatalf("empty envelope error = %v", err)
 	}
-	if _, err := s.Apply([]Edit{{Op: "merge", Group: []string{r1.Name}, Name: "m"}}); err == nil {
+	// An ambiguous envelope (two payloads set) is rejected, too.
+	twoOps := Skew(r1.Name, 1)
+	twoOps.Move = &MoveEdit{Inst: r1.Name, X: Coord(0), Y: Coord(0)}
+	if _, err := s.Apply([]Edit{twoOps}); err == nil ||
+		!strings.Contains(err.Error(), "exactly 1") {
+		t.Fatalf("ambiguous envelope error = %v", err)
+	}
+	if _, err := s.Apply([]Edit{MergeGroup("m", r1.Name)}); err == nil {
 		t.Fatal("merge with 1 member must fail")
 	}
 }
@@ -161,11 +172,11 @@ func TestRejectedMergeEditIsSideEffectFree(t *testing.T) {
 
 	cases := []Edit{
 		// MBR name collides with a live non-member instance.
-		{Op: "merge", Group: []string{regs[0].Name, regs[1].Name}, Name: regs[2].Name},
+		MergeGroup(regs[2].Name, regs[0].Name, regs[1].Name),
 		// A group member listed twice.
-		{Op: "merge", Group: []string{regs[0].Name, regs[0].Name}, Name: "mbr_dup"},
+		MergeGroup("mbr_dup", regs[0].Name, regs[0].Name),
 		// Explicit position with only one coordinate.
-		{Op: "merge", Group: []string{regs[0].Name, regs[1].Name}, Name: "mbr_pos", X: Coord(0)},
+		{Merge: &MergeEdit{Group: []string{regs[0].Name, regs[1].Name}, Name: "mbr_pos", X: Coord(0)}},
 	}
 	for _, e := range cases {
 		if _, err := s.Apply([]Edit{e}); err == nil {
@@ -182,7 +193,7 @@ func TestRejectedMergeEditIsSideEffectFree(t *testing.T) {
 	}
 
 	// A move without both coordinates is rejected before mutating, too.
-	if _, err := s.Apply([]Edit{{Op: "move", Inst: regs[0].Name, X: Coord(1)}}); err == nil {
+	if _, err := s.Apply([]Edit{{Move: &MoveEdit{Inst: regs[0].Name, X: Coord(1)}}}); err == nil {
 		t.Fatal("move without y must fail")
 	}
 	if got := s.Epoch(); got != epoch0 {
@@ -217,5 +228,98 @@ func TestSessionMeasureMatchesRunBase(t *testing.T) {
 	}
 	if got, want := met.Canonical(), rep.Base.Canonical(); got != want {
 		t.Fatalf("session Measure differs from Run base:\nsession:\n%srun:\n%s", got, want)
+	}
+}
+
+// mergePair merges the first scan-compatible single-bit pair into an MBR
+// named name, probing candidates through the edit API (a rejected merge is
+// side-effect free, so failed probes leave no trace). Returns the members.
+func mergePair(t *testing.T, s *Session, name string) (string, string) {
+	t.Helper()
+	var regs []*netlist.Inst
+	s.Design().Insts(func(in *netlist.Inst) {
+		if in.Kind == netlist.KindReg && !in.Fixed && in.Bits() == 1 && len(regs) < 40 {
+			regs = append(regs, in)
+		}
+	})
+	for i := range regs {
+		for j := i + 1; j < len(regs); j++ {
+			if regs[i].RegCell.Class != regs[j].RegCell.Class {
+				continue
+			}
+			if _, err := s.Apply([]Edit{MergeGroup(name, regs[i].Name, regs[j].Name)}); err == nil {
+				return regs[i].Name, regs[j].Name
+			}
+		}
+	}
+	t.Fatal("no mergeable single-bit pair found")
+	return "", ""
+}
+
+// TestApplySplitEdit pins the split edit end to end: merge two registers
+// through the edit API, split the MBR back, and check the per-bit parts
+// exist, the plan stays valid and the result names the victim.
+func TestApplySplitEdit(t *testing.T) {
+	s, _ := sessionBench(t, DefaultConfig())
+	mergePair(t, s, "split_me")
+
+	sres, err := s.Apply([]Edit{SplitInst("split_me")})
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if len(sres.Split) != 1 || sres.Split[0] != "split_me" {
+		t.Fatalf("split = %v, want [split_me]", sres.Split)
+	}
+	if s.Design().InstByName("split_me") != nil {
+		t.Fatal("split left the MBR alive")
+	}
+	for _, part := range []string{"split_me_b0", "split_me_b1"} {
+		in := s.Design().InstByName(part)
+		if in == nil {
+			t.Fatalf("split part %s missing", part)
+		}
+		if in.Bits() != 1 {
+			t.Fatalf("split part %s has %d bits", part, in.Bits())
+		}
+	}
+	if err := s.Design().Validate(); err != nil {
+		t.Fatalf("design invalid after merge+split: %v", err)
+	}
+}
+
+// TestRejectedSplitEditIsSideEffectFree mirrors the merge contract for the
+// inverse op: a rejected split edit must leave the design untouched (epoch
+// witness), since the serve journal only persists applied edits.
+func TestRejectedSplitEditIsSideEffectFree(t *testing.T) {
+	s, _ := sessionBench(t, DefaultConfig())
+	a, b := mergePair(t, s, "mbr_sf")
+	var other *netlist.Inst
+	s.Design().Insts(func(in *netlist.Inst) {
+		if other == nil && in.Kind == netlist.KindReg && !in.Fixed &&
+			in.Bits() == 1 && in.Name != a && in.Name != b {
+			other = in
+		}
+	})
+	if other == nil {
+		t.Fatal("need a third movable single-bit register")
+	}
+	epoch0 := s.Epoch()
+
+	cases := []Edit{
+		SplitInst("no_such_mbr"), // unknown instance
+		SplitInst(other.Name),    // single-bit: nothing to split
+		{Split: &SplitEdit{Inst: "mbr_sf", Cell: "no_such_cell"}}, // unknown cell
+		{Split: &SplitEdit{}}, // missing instance name
+	}
+	for _, e := range cases {
+		if _, err := s.Apply([]Edit{e}); err == nil {
+			t.Fatalf("split %+v should have been rejected", e)
+		}
+	}
+	if got := s.Epoch(); got != epoch0 {
+		t.Fatalf("rejected splits mutated the design: epoch %d -> %d", epoch0, got)
+	}
+	if s.Design().InstByName("mbr_sf") == nil {
+		t.Fatal("rejected split destroyed the MBR")
 	}
 }

@@ -18,6 +18,9 @@ import (
 // (legalization may spread them). Unconnected bits of an incomplete MBR
 // produce no instance. Names are <orig>_b<bit>.
 func (d *Design) SplitRegister(in *Inst, cell *lib.Cell) ([]*Inst, error) {
+	if in == nil || in.dead {
+		return nil, fmt.Errorf("netlist: SplitRegister: dead instance")
+	}
 	if in.Kind != KindReg || in.RegCell == nil {
 		return nil, fmt.Errorf("netlist: SplitRegister(%q): not a register", in.Name)
 	}
@@ -46,6 +49,20 @@ func (d *Design) SplitRegister(in *Inst, cell *lib.Cell) ([]*Inst, error) {
 			continue // tied-off bit of an incomplete MBR
 		}
 		conns = append(conns, bitConn{b, dn, qn})
+	}
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("netlist: SplitRegister(%q): no connected bits", in.Name)
+	}
+	// Every part name must be free before anything is torn down. AddRegister's
+	// only failure mode below is a name collision, so checking here makes the
+	// commit phase infallible: a rejected split leaves the design untouched
+	// (MergeRegisters gives the same validate-then-commit guarantee, and the
+	// serve journal depends on it — failed edits are not journaled, so a
+	// surviving mutation would break snapshot replay).
+	for _, bc := range conns {
+		if ex := d.InstByName(fmt.Sprintf("%s_b%d", in.Name, bc.bit)); ex != nil {
+			return nil, fmt.Errorf("netlist: SplitRegister(%q): instance %q already exists", in.Name, ex.Name)
+		}
 	}
 	clockNet := d.ControlNet(in, PinClock)
 	resetNet := d.ControlNet(in, PinReset)

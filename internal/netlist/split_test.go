@@ -125,6 +125,63 @@ func TestSplitRegisterValidation(t *testing.T) {
 	}
 }
 
+// TestRejectedSplitIsSideEffectFree pins SplitRegister's validate-then-
+// commit contract, mirroring MergeRegisters: a rejected split must leave
+// the design untouched. The epoch is the strongest witness — it advances
+// on every tracked mutation.
+func TestRejectedSplitIsSideEffectFree(t *testing.T) {
+	d, r := buildMBRWithIO(t)
+	cell1 := cellOf(t, 1)
+	// Occupy one of the part names the split would need.
+	if _, err := d.AddRegister("mbr_b2", cell1, geom.Point{X: 400, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+	epoch0 := d.Epoch()
+	if _, err := d.SplitRegister(r, cell1); err == nil {
+		t.Fatal("split into a taken name must fail")
+	}
+	if d.Epoch() != epoch0 {
+		t.Fatalf("rejected split mutated the design: epoch %d -> %d", epoch0, d.Epoch())
+	}
+	if d.Inst(r.ID) == nil || d.InstByName("mbr") == nil {
+		t.Fatal("rejected split destroyed the original register")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Class mismatch and fixed-instance rejections are side-effect free too.
+	other := testLib.CellsOfWidth(lib.FuncClass{Kind: lib.FlipFlop}, 1)[0]
+	if _, err := d.SplitRegister(r, other); err == nil {
+		t.Fatal("class mismatch must fail")
+	}
+	r.Fixed = true
+	if _, err := d.SplitRegister(r, cell1); err == nil {
+		t.Fatal("fixed register must not split")
+	}
+	r.Fixed = false
+	if d.Epoch() != epoch0 {
+		t.Fatal("rejected splits mutated the design")
+	}
+}
+
+// TestSplitAdvancesEpoch pins the edit-tracking contract of a committed
+// split: the epoch moves and the touched log records the change, so every
+// retained engine sees the structural edit on its delta feed.
+func TestSplitAdvancesEpoch(t *testing.T) {
+	d, r := buildMBRWithIO(t)
+	epoch0 := d.Epoch()
+	if _, err := d.SplitRegister(r, cellOf(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() <= epoch0 {
+		t.Fatalf("split did not advance the epoch: %d -> %d", epoch0, d.Epoch())
+	}
+	if d.StructuralEpoch() <= epoch0 {
+		t.Fatalf("split must be a structural edit (structural epoch %d, before %d)",
+			d.StructuralEpoch(), epoch0)
+	}
+}
+
 func TestSplitIncompleteMBRSkipsTiedOffBits(t *testing.T) {
 	d, r1, r2 := buildPair(t)
 	// Merge 2 regs into a 4-bit (2 tied-off bits), then split: only 2 parts.

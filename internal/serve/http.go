@@ -36,12 +36,15 @@ type EditsRequest struct {
 	Edits []flow.Edit `json:"edits"`
 }
 
-// EditsResponse reports what the batch did.
+// EditsResponse reports what the batch did. A partial application (some
+// edits applied, then one rejected) carries the applied prefix plus a
+// structured Error — the batch is not transactional.
 type EditsResponse struct {
 	Applied int                  `json:"applied"`
 	Merged  []string             `json:"merged,omitempty"`
+	Split   []string             `json:"split,omitempty"`
 	Epoch   uint64               `json:"epoch"`
-	Error   string               `json:"error,omitempty"`
+	Error   *wire.Error          `json:"error,omitempty"`
 	Engines wire.EngineSummaries `json:"engines"`
 }
 
@@ -60,6 +63,28 @@ type ComposeResponse struct {
 	Engines wire.EngineSummaries `json:"engines"`
 }
 
+// DecomposeRequest configures one decomposition pass. The zero config is
+// rejected (it selects no victims); set Budget, or All for the legacy
+// debank-everything preset.
+type DecomposeRequest struct {
+	Decompose flow.DecomposeConfig `json:"decompose"`
+}
+
+// DecomposeResponse is one decomposition pass's outcome.
+type DecomposeResponse struct {
+	Decompose DecomposeInfo        `json:"decompose"`
+	Nanos     int64                `json:"nanos"`
+	Engines   wire.EngineSummaries `json:"engines"`
+}
+
+// RestoreResponse is one restore pass's outcome (leftover split bits
+// re-merged into scan-compatible groups).
+type RestoreResponse struct {
+	Restore RestoreInfo          `json:"restore"`
+	Nanos   int64                `json:"nanos"`
+	Engines wire.EngineSummaries `json:"engines"`
+}
+
 // InfoResponse describes one session.
 type InfoResponse struct {
 	Info    SessionInfo          `json:"info"`
@@ -71,24 +96,24 @@ type ListResponse struct {
 	Sessions []SessionInfo `json:"sessions"`
 }
 
-// errorResponse is the uniform error body.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
 // Handler returns the server's HTTP API:
 //
-//	GET    /healthz                      liveness
-//	GET    /v1/stats                     server counters
-//	POST   /v1/sessions                  create (CreateRequest)
-//	GET    /v1/sessions                  list
-//	GET    /v1/sessions/{name}           info + engine summaries
-//	DELETE /v1/sessions/{name}           evict (engines invalidated)
-//	POST   /v1/sessions/{name}/edits     apply an edit batch
-//	POST   /v1/sessions/{name}/measure   incremental Table 1 measurement
-//	POST   /v1/sessions/{name}/compose   one composition pass
-//	GET    /v1/sessions/{name}/snapshot  event-sourced snapshot
-//	POST   /v1/sessions/restore          restore from a snapshot body
+//	GET    /healthz                       liveness
+//	GET    /v1/stats                      server counters
+//	POST   /v1/sessions                   create (CreateRequest)
+//	GET    /v1/sessions                   list
+//	GET    /v1/sessions/{name}            info + engine summaries
+//	DELETE /v1/sessions/{name}            evict (engines invalidated)
+//	POST   /v1/sessions/{name}/edits      apply an edit batch
+//	POST   /v1/sessions/{name}/measure    incremental Table 1 measurement
+//	POST   /v1/sessions/{name}/compose    one composition pass
+//	POST   /v1/sessions/{name}/decompose  one slack-driven decomposition pass
+//	POST   /v1/sessions/{name}/restore    re-merge leftover split bits
+//	GET    /v1/sessions/{name}/snapshot   event-sourced snapshot
+//	POST   /v1/sessions/restore           restore from a snapshot body
+//
+// Every non-2xx response body is a wire.Error envelope: a stable code, the
+// op that failed, and the message.
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
@@ -102,13 +127,14 @@ func Handler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		const op = "create"
 		var req CreateRequest
-		if !readJSON(w, r, &req) {
+		if !readJSON(w, r, op, &req) {
 			return
 		}
 		s, err := m.Create(req.Name, req.Source, req.Config)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeError(w, op, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, createResponse(s))
@@ -119,22 +145,24 @@ func Handler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/sessions/restore", func(w http.ResponseWriter, r *http.Request) {
+		const op = "restore_session"
 		var snap Snapshot
-		if !readJSON(w, r, &snap) {
+		if !readJSON(w, r, op, &snap) {
 			return
 		}
 		s, err := m.Restore("", &snap)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeError(w, op, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, createResponse(s))
 	})
 
 	mux.HandleFunc("GET /v1/sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
+		const op = "info"
 		s, ok := m.Get(r.PathValue("name"))
 		if !ok {
-			writeError(w, http.StatusNotFound, errSessionNotFound(r))
+			writeError(w, op, http.StatusNotFound, errSessionNotFound(r))
 			return
 		}
 		writeJSON(w, http.StatusOK, InfoResponse{
@@ -144,31 +172,34 @@ func Handler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("DELETE /v1/sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
+		const op = "evict"
 		if !m.Evict(r.PathValue("name")) {
-			writeError(w, http.StatusNotFound, errSessionNotFound(r))
+			writeError(w, op, http.StatusNotFound, errSessionNotFound(r))
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
 
 	mux.HandleFunc("POST /v1/sessions/{name}/edits", func(w http.ResponseWriter, r *http.Request) {
+		const op = "edits"
 		s, ok := m.Get(r.PathValue("name"))
 		if !ok {
-			writeError(w, http.StatusNotFound, errSessionNotFound(r))
+			writeError(w, op, http.StatusNotFound, errSessionNotFound(r))
 			return
 		}
 		var req EditsRequest
-		if !readJSON(w, r, &req) {
+		if !readJSON(w, r, op, &req) {
 			return
 		}
 		res, engs, err := s.Apply(req.Edits)
 		if err != nil && res == nil {
-			writeError(w, statusFor(err), err)
+			writeError(w, op, statusFor(err), err)
 			return
 		}
 		resp := EditsResponse{
 			Applied: res.Applied,
 			Merged:  res.Merged,
+			Split:   res.Split,
 			Epoch:   res.Epoch,
 			Engines: wire.Engines(engs),
 		}
@@ -176,22 +207,23 @@ func Handler(m *Manager) http.Handler {
 		if err != nil {
 			// Partial application: report the applied prefix with the error
 			// rather than a bare failure — the batch is not transactional.
-			resp.Error = err.Error()
+			resp.Error = wireError(op, statusFor(err), err)
 			status = http.StatusUnprocessableEntity
 		}
 		writeJSON(w, status, resp)
 	})
 
 	mux.HandleFunc("POST /v1/sessions/{name}/measure", func(w http.ResponseWriter, r *http.Request) {
+		const op = "measure"
 		s, ok := m.Get(r.PathValue("name"))
 		if !ok {
-			writeError(w, http.StatusNotFound, errSessionNotFound(r))
+			writeError(w, op, http.StatusNotFound, errSessionNotFound(r))
 			return
 		}
 		t0 := time.Now()
 		met, engs, err := s.Measure()
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeError(w, op, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, MeasureResponse{
@@ -203,15 +235,16 @@ func Handler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/sessions/{name}/compose", func(w http.ResponseWriter, r *http.Request) {
+		const op = "compose"
 		s, ok := m.Get(r.PathValue("name"))
 		if !ok {
-			writeError(w, http.StatusNotFound, errSessionNotFound(r))
+			writeError(w, op, http.StatusNotFound, errSessionNotFound(r))
 			return
 		}
 		t0 := time.Now()
 		info, engs, err := s.Compose()
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeError(w, op, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, ComposeResponse{
@@ -221,15 +254,60 @@ func Handler(m *Manager) http.Handler {
 		})
 	})
 
-	mux.HandleFunc("GET /v1/sessions/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/sessions/{name}/decompose", func(w http.ResponseWriter, r *http.Request) {
+		const op = "decompose"
 		s, ok := m.Get(r.PathValue("name"))
 		if !ok {
-			writeError(w, http.StatusNotFound, errSessionNotFound(r))
+			writeError(w, op, http.StatusNotFound, errSessionNotFound(r))
+			return
+		}
+		var req DecomposeRequest
+		if !readJSON(w, r, op, &req) {
+			return
+		}
+		t0 := time.Now()
+		info, engs, err := s.Decompose(req.Decompose)
+		if err != nil {
+			writeError(w, op, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, DecomposeResponse{
+			Decompose: *info,
+			Nanos:     time.Since(t0).Nanoseconds(),
+			Engines:   wire.Engines(engs),
+		})
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{name}/restore", func(w http.ResponseWriter, r *http.Request) {
+		const op = "restore"
+		s, ok := m.Get(r.PathValue("name"))
+		if !ok {
+			writeError(w, op, http.StatusNotFound, errSessionNotFound(r))
+			return
+		}
+		t0 := time.Now()
+		info, engs, err := s.Restore()
+		if err != nil {
+			writeError(w, op, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, RestoreResponse{
+			Restore: *info,
+			Nanos:   time.Since(t0).Nanoseconds(),
+			Engines: wire.Engines(engs),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		const op = "snapshot"
+		s, ok := m.Get(r.PathValue("name"))
+		if !ok {
+			writeError(w, op, http.StatusNotFound, errSessionNotFound(r))
 			return
 		}
 		snap, err := s.Snapshot()
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeError(w, op, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, snap)
@@ -262,12 +340,27 @@ func statusFor(err error) int {
 	}
 }
 
+// codeFor maps an HTTP status to the stable wire error code. Every error
+// path funnels through here so the code set stays closed.
+func codeFor(status int) string {
+	switch status {
+	case http.StatusNotFound:
+		return wire.CodeNotFound
+	case http.StatusGone:
+		return wire.CodeEvicted
+	case http.StatusRequestEntityTooLarge:
+		return wire.CodeBodyTooLarge
+	default:
+		return wire.CodeValidation
+	}
+}
+
 // maxRequestBytes bounds request bodies so one oversized POST cannot
 // allocate unbounded server memory. Generous because a restore body
 // carries a full design snapshot plus its edit journal.
 const maxRequestBytes = 64 << 20
 
-func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+func readJSON(w http.ResponseWriter, r *http.Request, op string, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(v); err != nil {
@@ -276,7 +369,7 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 		if errors.As(err, &mbe) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		writeError(w, status, fmt.Errorf("serve: decode request: %w", err))
+		writeError(w, op, status, fmt.Errorf("serve: decode request: %w", err))
 		return false
 	}
 	return true
@@ -290,6 +383,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+func wireError(op string, status int, err error) *wire.Error {
+	return &wire.Error{Code: codeFor(status), Op: op, Message: err.Error()}
+}
+
+func writeError(w http.ResponseWriter, op string, status int, err error) {
+	writeJSON(w, status, wireError(op, status, err))
 }

@@ -6,16 +6,21 @@
 //     flow.Session replay of the same op sequence — the server under
 //     concurrent multi-tenant load serves exactly the bytes the library
 //     produces in isolation.
-//   - Zero steady-state rebuilds: after one warmup measurement, the
-//     parametric edit stream (skews with an occasional move or resize)
-//     must stay on every retained engine's delta path — the per-response
-//     engine summaries' rebuild counters must not advance.
+//   - Zero steady-state rebuilds: outside explicit structural windows
+//     (merges, splits, compose/decompose rounds — which legitimately pay
+//     for a rebuild on the next engine run), every op must stay on every
+//     retained engine's delta path — the per-response engine summaries'
+//     rebuild counters must not advance.
 //   - Liveness under readers: concurrent info/snapshot readers share each
 //     session's read lock and must all succeed while writers stream.
 //
 // Streams are generated from a seeded PRNG over the profile's register
 // landscape (regenerated locally — profile generation is deterministic),
-// so the same Options always replay the same traffic.
+// so the same Options always replay the same traffic. The ECO profile
+// additionally mirrors its own stream on a scratch local session while
+// generating it, so merge/split candidates are probed against the exact
+// state the server will be in (failed probes are side-effect free and
+// simply dropped from the stream).
 package loadtest
 
 import (
@@ -27,6 +32,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -64,8 +70,17 @@ type Options struct {
 	// to a rebuild. 0 = 10.
 	PoolSize int `json:"poolSize,omitempty"`
 	// ComposeAtEnd runs one composition pass plus a final measurement per
-	// session after the steady-state window closes.
+	// session after the steady-state window closes (parametric profile).
 	ComposeAtEnd bool `json:"composeAtEnd"`
+	// ECO switches stream generation to the ECO-replay profile: parametric
+	// batches interleaved with explicit merge and split edits plus server
+	// compose and decompose rounds, closed by a compose + restore finale —
+	// the full bank/debank loop under multi-tenant load.
+	ECO bool `json:"eco,omitempty"`
+	// ECOEvery is how many parametric batches separate consecutive ECO
+	// structural rounds (merge, split, compose, decompose — cycled in that
+	// order). 0 = 4.
+	ECOEvery int `json:"ecoEvery,omitempty"`
 	// OracleSessions bounds how many streams get the (expensive) local
 	// single-threaded replay oracle; 0 = all of them.
 	OracleSessions int `json:"oracleSessions,omitempty"`
@@ -87,6 +102,26 @@ func DefaultOptions() Options {
 	}
 }
 
+// DefaultECOOptions sizes the ECO-replay profile: fewer, shorter streams
+// (each op sequence is heavier — compose and decompose rounds run the full
+// engine stack) with every structural round kind exercised at least once
+// per stream.
+func DefaultECOOptions() Options {
+	return Options{
+		Profile:      "D1",
+		Scale:        40,
+		Sessions:     2,
+		Batches:      16,
+		BatchEdits:   8,
+		MeasureEvery: 1,
+		Readers:      2,
+		Seed:         1,
+		PoolSize:     16,
+		ECO:          true,
+		ECOEvery:     4,
+	}
+}
+
 // recenterThresholdDBU is the clock-tree re-center hysteresis every
 // harness session (and its local oracle replay) runs with. Without it a
 // single register move re-plans the domain tree and moves every buffer a
@@ -105,8 +140,15 @@ const recenterThresholdDBU = 4000
 // over the cost heuristic's cliff edge.
 const compatMaxDeltaFrac = 0.5
 
+// ecoDecomposeConfig is the decompose round every ECO stream issues: a
+// small budget of the worst-slack MBRs, with a threshold that admits any
+// constrained register (only unconstrained +Inf cones are exempt).
+func ecoDecomposeConfig() flow.DecomposeConfig {
+	return flow.DecomposeConfig{Budget: 4, SlackThresholdPS: 1e9}
+}
+
 // sessionConfig is the one config every harness session is created with;
-// replayLocal mirrors it so the oracle replays identical engine behavior.
+// the oracle replay mirrors it so both run identical engine behavior.
 func sessionConfig(o Options) serve.SessionConfig {
 	return serve.SessionConfig{
 		Workers:              o.Workers,
@@ -121,27 +163,54 @@ type Result struct {
 	Edits        int64   `json:"edits"`
 	Measures     int64   `json:"measures"`
 	Composes     int64   `json:"composes"`
+	Decomposes   int64   `json:"decomposes"`
 	ReaderHits   int64   `json:"readerHits"`
 	ElapsedMS    float64 `json:"elapsedMS"`
 	EditsPerSec  float64 `json:"editsPerSec"`
 	MeasureP50MS float64 `json:"measureP50MS"`
 	MeasureP99MS float64 `json:"measureP99MS"`
 	// SteadyRebuilds counts retained-engine rebuild-counter increments
-	// observed inside the steady-state window. The service guarantee is 0.
+	// observed outside structural windows. The service guarantee is 0.
 	SteadyRebuilds int64 `json:"steadyRebuilds"`
+	// MergeOps/SplitOps count the explicit merge and split edits the ECO
+	// streams carried (zero in the parametric profile).
+	MergeOps int `json:"mergeOps,omitempty"`
+	SplitOps int `json:"splitOps,omitempty"`
 	// OracleStreams is how many streams were replayed locally; every one
 	// matched byte-for-byte (a mismatch fails the run).
 	OracleStreams int                `json:"oracleStreams"`
 	Stats         serve.ManagerStats `json:"stats"`
 }
 
-// stream is one session's deterministic op sequence: edit batches with
-// measurement points, generated up front so the HTTP run and the local
-// oracle replay the same ops.
+// Stream op kinds: the session-level operations a stream sequences.
+const (
+	opEdits     = "edits"
+	opMeasure   = "measure"
+	opCompose   = "compose"
+	opDecompose = "decompose"
+	opRestore   = "restore"
+)
+
+// streamOp is one op of a session's deterministic sequence. Structural
+// ops (merge/split edit batches, compose, decompose, restore) open an
+// exclusion window in the rebuild accounting: the retained engines
+// legitimately pay one rebuild on their next run, so counter increments
+// re-baseline instead of counting until the next measure closes the
+// window.
+type streamOp struct {
+	kind       string
+	edits      []flow.Edit
+	decompose  flow.DecomposeConfig
+	structural bool
+}
+
+// stream is one session's deterministic op sequence, generated up front so
+// the HTTP run and the local oracle replay the same ops.
 type stream struct {
-	name    string
-	batches [][]flow.Edit
-	measure []bool // measure[i]: measure after batch i
+	name   string
+	ops    []streamOp
+	merges int
+	splits int
 }
 
 // reg is one movable register of the reference design.
@@ -172,20 +241,34 @@ func Run(o Options) (*Result, error) {
 	}
 	c := &client{base: base, hc: &http.Client{Timeout: 120 * time.Second}}
 
-	regs, err := referenceRegs(o.Profile, o.Scale)
-	if err != nil {
-		return nil, err
-	}
 	streams := make([]*stream, o.Sessions)
-	for i := range streams {
-		streams[i] = genStream(fmt.Sprintf("s%02d", i), regs, o, int64(i))
+	if o.ECO {
+		for i := range streams {
+			st, err := genStreamECO(fmt.Sprintf("s%02d", i), o, int64(i))
+			if err != nil {
+				return nil, fmt.Errorf("loadtest: generate ECO stream %d: %w", i, err)
+			}
+			streams[i] = st
+		}
+	} else {
+		regs, err := referenceRegs(o.Profile, o.Scale)
+		if err != nil {
+			return nil, err
+		}
+		for i := range streams {
+			streams[i] = genStream(fmt.Sprintf("s%02d", i), regs, o, int64(i))
+		}
 	}
 
 	res := &Result{Sessions: o.Sessions}
+	for _, st := range streams {
+		res.MergeOps += st.merges
+		res.SplitOps += st.splits
+	}
 	t0 := time.Now()
 
-	// Writers: one goroutine per session streams its batches and checks
-	// the zero-rebuild guarantee from the per-response engine summaries.
+	// Writers: one goroutine per session streams its ops and checks the
+	// zero-rebuild guarantee from the per-response engine summaries.
 	var (
 		wg        sync.WaitGroup
 		mu        sync.Mutex
@@ -289,6 +372,7 @@ func Run(o Options) (*Result, error) {
 	res.Edits = stats.Edits
 	res.Measures = stats.Measures
 	res.Composes = stats.Composes
+	res.Decomposes = stats.Decomposes
 	if res.ElapsedMS > 0 {
 		res.EditsPerSec = float64(res.Edits) / (res.ElapsedMS / 1000)
 	}
@@ -378,34 +462,249 @@ func genStream(name string, regs []reg, o Options, idx int64) *stream {
 			r := regs[rng.Intn(len(regs))]
 			switch {
 			case e == structural && rng.Intn(2) == 0:
-				batch = append(batch, flow.Edit{
-					Op: "move", Inst: r.name,
-					X: flow.Coord(r.pos[0] + int64(rng.Intn(801)-400)),
-					Y: flow.Coord(r.pos[1] + int64(rng.Intn(801)-400)),
-				})
+				batch = append(batch, flow.MoveTo(r.name,
+					r.pos[0]+int64(rng.Intn(801)-400),
+					r.pos[1]+int64(rng.Intn(801)-400)))
 			case e == structural && len(r.cells) > 1:
-				batch = append(batch, flow.Edit{
-					Op: "resize", Inst: r.name,
-					Cell: r.cells[rng.Intn(len(r.cells))],
-				})
+				batch = append(batch, flow.Resize(r.name, r.cells[rng.Intn(len(r.cells))]))
 			default:
-				batch = append(batch, flow.Edit{
-					Op: "skew", Inst: r.name,
-					SkewPS: float64(rng.Intn(81) - 40),
-				})
+				batch = append(batch, flow.Skew(r.name, float64(rng.Intn(81)-40)))
 			}
 		}
-		st.batches = append(st.batches, batch)
-		st.measure = append(st.measure, (b+1)%o.MeasureEvery == 0 || b == o.Batches-1)
+		st.ops = append(st.ops, streamOp{kind: opEdits, edits: batch})
+		if (b+1)%o.MeasureEvery == 0 || b == o.Batches-1 {
+			st.ops = append(st.ops, streamOp{kind: opMeasure})
+		}
+	}
+	if o.ComposeAtEnd {
+		// Composition legitimately pays for structural work (merges); its
+		// window is excluded from the zero-rebuild accounting.
+		st.ops = append(st.ops,
+			streamOp{kind: opCompose, structural: true},
+			streamOp{kind: opMeasure})
 	}
 	return st
 }
 
-// replayLocal replays a stream's ops on a fresh single-threaded
-// flow.Session and returns the measurement canonical bytes in sequence,
-// mirroring what the server journals: warmup measure, batches with
-// measurement points, optional compose + final measure.
-func replayLocal(st *stream, o Options) ([]string, error) {
+// genStreamECO builds one session's bank/debank ECO stream: parametric
+// batches interleaved with explicit merge and split edits plus server-side
+// compose and decompose rounds, closed by a compose + restore finale. The
+// generator mirrors its own stream op-for-op on a scratch local session,
+// so merge/split candidates are probed against the exact design state the
+// server will be in when the op arrives — a probe the scratch session
+// rejects is side-effect free (validate-then-commit) and simply dropped
+// from the stream. Every structural round is followed by a measurement,
+// both for the determinism oracle and so the rebuild accounting can
+// re-baseline and close the exclusion window.
+func genStreamECO(name string, o Options, idx int64) (*stream, error) {
+	rng := rand.New(rand.NewSource(o.Seed + 7919*idx))
+	pool := o.PoolSize
+	if pool <= 0 {
+		pool = 10
+	}
+	ecoEvery := o.ECOEvery
+	if ecoEvery <= 0 {
+		ecoEvery = 4
+	}
+
+	fs, err := openLocal(o)
+	if err != nil {
+		return nil, err
+	}
+	defer fs.Close()
+	if _, err := fs.Measure(); err != nil { // mirror the server's warmup
+		return nil, err
+	}
+	d := fs.Design()
+
+	st := &stream{name: name}
+	// emit applies the op to the scratch mirror and appends it; generation
+	// fails loudly rather than let the stream diverge from the mirror.
+	emit := func(op streamOp) error {
+		if err := applyOpLocal(fs, op); err != nil {
+			return fmt.Errorf("%s op %d (%s): %w", name, len(st.ops), op.kind, err)
+		}
+		st.ops = append(st.ops, op)
+		return nil
+	}
+	// tryEdit probes one structural edit. A rejected edit leaves the
+	// scratch session untouched, so skipping it keeps mirror and stream in
+	// lockstep.
+	tryEdit := func(e flow.Edit) bool {
+		if _, err := fs.Apply([]flow.Edit{e}); err != nil {
+			return false
+		}
+		st.ops = append(st.ops, streamOp{kind: opEdits, edits: []flow.Edit{e}, structural: true})
+		return true
+	}
+
+	// basePos pins each register's move jitter to the position it had when
+	// the stream first touched it: repeated moves re-jitter around the base
+	// instead of random-walking across clock-tree leaf boundaries.
+	basePos := make(map[string][2]int64)
+	mergeSeq := 0
+	round := 0
+
+	for b := 0; b < o.Batches; b++ {
+		window := liveWindow(d, pool, idx)
+		if len(window) == 0 {
+			return nil, fmt.Errorf("%s: no live movable registers left", name)
+		}
+		batch := make([]flow.Edit, 0, o.BatchEdits)
+		structural := rng.Intn(o.BatchEdits)
+		for e := 0; e < o.BatchEdits; e++ {
+			r := window[rng.Intn(len(window))]
+			base, ok := basePos[r.Name]
+			if !ok {
+				base = [2]int64{r.Pos.X, r.Pos.Y}
+				basePos[r.Name] = base
+			}
+			alts := d.Lib.CellsOfWidth(r.RegCell.Class, r.RegCell.Bits)
+			switch {
+			case e == structural && rng.Intn(2) == 0:
+				batch = append(batch, flow.MoveTo(r.Name,
+					base[0]+int64(rng.Intn(801)-400),
+					base[1]+int64(rng.Intn(801)-400)))
+			case e == structural && len(alts) > 1:
+				batch = append(batch, flow.Resize(r.Name, alts[rng.Intn(len(alts))].Name))
+			default:
+				batch = append(batch, flow.Skew(r.Name, float64(rng.Intn(81)-40)))
+			}
+		}
+		if err := emit(streamOp{kind: opEdits, edits: batch}); err != nil {
+			return nil, err
+		}
+		if (b+1)%o.MeasureEvery == 0 || b == o.Batches-1 {
+			if err := emit(streamOp{kind: opMeasure}); err != nil {
+				return nil, err
+			}
+		}
+
+		if (b+1)%ecoEvery != 0 {
+			continue
+		}
+		// Structural ECO round: merge, split, compose, decompose — cycled.
+		applied := false
+		switch round % 4 {
+		case 0: // bank: merge an adjacent single-bit pair from the window
+			off := rng.Intn(len(window))
+			for i := 0; i < len(window)-1 && !applied; i++ {
+				a, b2 := window[(off+i)%(len(window)-1)], window[(off+i)%(len(window)-1)+1]
+				if a.Bits() != 1 || b2.Bits() != 1 || a.RegCell.Class != b2.RegCell.Class {
+					continue
+				}
+				if tryEdit(flow.MergeGroup(fmt.Sprintf("eco_m%d", mergeSeq), a.Name, b2.Name)) {
+					mergeSeq++
+					st.merges++
+					applied = true
+				}
+			}
+		case 1: // debank: split a live MBR, preferring ones this stream banked
+			cands := splitCandidates(d, pool, idx)
+			for _, in := range cands {
+				if tryEdit(flow.SplitInst(in.Name)) {
+					st.splits++
+					applied = true
+					break
+				}
+			}
+		case 2:
+			if err := emit(streamOp{kind: opCompose, structural: true}); err != nil {
+				return nil, err
+			}
+			applied = true
+		case 3:
+			if err := emit(streamOp{kind: opDecompose, decompose: ecoDecomposeConfig(), structural: true}); err != nil {
+				return nil, err
+			}
+			applied = true
+		}
+		round++
+		if applied {
+			if err := emit(streamOp{kind: opMeasure}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Close the loop: recompose whatever the decompose rounds freed, then
+	// restore any stranded single bits and take the final measurement.
+	finale := []streamOp{
+		{kind: opCompose, structural: true},
+		{kind: opMeasure},
+		{kind: opRestore, structural: true},
+		{kind: opMeasure},
+	}
+	for _, op := range finale {
+		if err := emit(op); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// liveWindow harvests the design's current movable registers in Morton
+// order and cuts the stream's contiguous window out of them — the same
+// spatial-neighborhood rule as the parametric profile, but recomputed
+// against live state so merged-away registers drop out and freshly banked
+// MBRs (or debanked bits) join the neighborhood.
+func liveWindow(d *netlist.Design, pool int, idx int64) []*netlist.Inst {
+	var regs []*netlist.Inst
+	d.Insts(func(in *netlist.Inst) {
+		if in.Kind != netlist.KindReg || in.Fixed || in.SizeOnly || in.RegCell == nil {
+			return
+		}
+		regs = append(regs, in)
+	})
+	sort.Slice(regs, func(i, j int) bool {
+		mi := morton([2]int64{regs[i].Pos.X, regs[i].Pos.Y})
+		mj := morton([2]int64{regs[j].Pos.X, regs[j].Pos.Y})
+		if mi != mj {
+			return mi < mj
+		}
+		return regs[i].Name < regs[j].Name
+	})
+	if len(regs) == 0 {
+		return nil
+	}
+	if pool > len(regs) {
+		pool = len(regs)
+	}
+	start := int(idx) * pool % len(regs)
+	window := make([]*netlist.Inst, 0, pool)
+	for i := 0; i < pool; i++ {
+		window = append(window, regs[(start+i)%len(regs)])
+	}
+	return window
+}
+
+// splitCandidates orders the live multi-bit registers a debank round may
+// split: the stream's own eco_* MBRs first (guaranteeing split ops appear
+// in the stream once a bank round succeeded), then the window's MBRs.
+func splitCandidates(d *netlist.Design, pool int, idx int64) []*netlist.Inst {
+	var own, other []*netlist.Inst
+	for _, in := range liveWindow(d, pool, idx) {
+		if in.Bits() < 2 {
+			continue
+		}
+		other = append(other, in)
+	}
+	d.Insts(func(in *netlist.Inst) {
+		if in.Kind != netlist.KindReg || in.Fixed || in.Bits() < 2 {
+			return
+		}
+		if strings.HasPrefix(in.Name, "eco_m") {
+			own = append(own, in)
+		}
+	})
+	sort.Slice(own, func(i, j int) bool { return own[i].Name < own[j].Name })
+	return append(own, other...)
+}
+
+// openLocal opens the single-threaded local flow session both the oracle
+// replay and the ECO stream generator use. It must run the engines exactly
+// as the server does (hysteresis included) for the bytes to be comparable.
+func openLocal(o Options) (*flow.Session, error) {
 	src := serve.Source{Profile: o.Profile, Scale: o.Scale}
 	d, plan, err := src.Load()
 	if err != nil {
@@ -413,11 +712,37 @@ func replayLocal(st *stream, o Options) ([]string, error) {
 	}
 	cfg := flow.DefaultConfig()
 	cfg.Workers = 1
-	// Mirror sessionConfig: the oracle must run the engines exactly as the
-	// server does (hysteresis included) for the bytes to be comparable.
 	cfg.CTS.Tree.RecenterThresholdDBU = recenterThresholdDBU
 	cfg.Compat.MaxDeltaFrac = compatMaxDeltaFrac
-	fs, err := flow.NewSession(d, plan, cfg)
+	return flow.NewSession(d, plan, cfg)
+}
+
+// applyOpLocal applies one stream op to a local session — the shared op
+// semantics of the oracle replay and the ECO generator's scratch mirror.
+func applyOpLocal(fs *flow.Session, op streamOp) error {
+	var err error
+	switch op.kind {
+	case opEdits:
+		_, err = fs.Apply(op.edits)
+	case opMeasure:
+		_, err = fs.Measure()
+	case opCompose:
+		_, err = fs.ComposePass()
+	case opDecompose:
+		_, err = fs.DecomposePassWith(op.decompose)
+	case opRestore:
+		_, err = fs.RestorePass()
+	default:
+		err = fmt.Errorf("unknown stream op %q", op.kind)
+	}
+	return err
+}
+
+// replayLocal replays a stream's ops on a fresh single-threaded
+// flow.Session and returns the measurement canonical bytes in sequence,
+// mirroring what the server journals: warmup measure, then the op stream.
+func replayLocal(st *stream, o Options) ([]string, error) {
+	fs, err := openLocal(o)
 	if err != nil {
 		return nil, err
 	}
@@ -428,27 +753,18 @@ func replayLocal(st *stream, o Options) ([]string, error) {
 		return nil, err
 	}
 	out = append(out, met.Canonical())
-	for i, batch := range st.batches {
-		if _, err := fs.Apply(batch); err != nil {
-			return nil, fmt.Errorf("batch %d: %w", i, err)
-		}
-		if st.measure[i] {
+	for i, op := range st.ops {
+		if op.kind == opMeasure {
 			met, err := fs.Measure()
 			if err != nil {
-				return nil, fmt.Errorf("measure after batch %d: %w", i, err)
+				return nil, fmt.Errorf("op %d (measure): %w", i, err)
 			}
 			out = append(out, met.Canonical())
+			continue
 		}
-	}
-	if o.ComposeAtEnd {
-		if _, err := fs.ComposePass(); err != nil {
-			return nil, fmt.Errorf("compose: %w", err)
+		if err := applyOpLocal(fs, op); err != nil {
+			return nil, fmt.Errorf("op %d (%s): %w", i, op.kind, err)
 		}
-		met, err := fs.Measure()
-		if err != nil {
-			return nil, fmt.Errorf("final measure: %w", err)
-		}
-		out = append(out, met.Canonical())
 	}
 	return out, nil
 }
@@ -459,9 +775,10 @@ type client struct {
 	hc   *http.Client
 }
 
-// runStream creates the session, streams its batches and returns the
+// runStream creates the session, streams its ops and returns the
 // measurement latencies, the canonical measurement bytes in sequence, and
-// the rebuild-counter increments observed inside the steady-state window.
+// the rebuild-counter increments observed outside structural exclusion
+// windows.
 func (c *client) runStream(st *stream, o Options) (lats []float64, canon []string, rebuilds int64, err error) {
 	create := serve.CreateRequest{
 		Name:   st.name,
@@ -482,45 +799,68 @@ func (c *client) runStream(st *stream, o Options) (lats []float64, canon []strin
 	canon = append(canon, mres.Canonical)
 	baseline := rebuildCount(mres.Engines)
 
-	for i, batch := range st.batches {
-		var eres serve.EditsResponse
-		if err = c.post("/v1/sessions/"+st.name+"/edits", serve.EditsRequest{Edits: batch}, &eres); err != nil {
-			return lats, canon, rebuilds, fmt.Errorf("batch %d: %w", i, err)
+	// excluded marks a structural window: a merge/split/compose/decompose/
+	// restore legitimately pays one engine rebuild on its next run, so
+	// counter increments re-baseline instead of counting until the next
+	// measurement closes the window.
+	excluded := false
+	account := func(engs wire.EngineSummaries) {
+		n := rebuildCount(engs)
+		if excluded {
+			baseline = n
+			return
 		}
-		if eres.Error != "" {
-			return lats, canon, rebuilds, fmt.Errorf("batch %d: server: %s", i, eres.Error)
-		}
-		if n := rebuildCount(eres.Engines); n > baseline {
+		if n > baseline {
 			rebuilds += n - baseline
 			baseline = n
 		}
-		if st.measure[i] {
+	}
+
+	for i, op := range st.ops {
+		if op.structural {
+			excluded = true
+		}
+		path := "/v1/sessions/" + st.name
+		switch op.kind {
+		case opEdits:
+			var eres serve.EditsResponse
+			if err = c.post(path+"/edits", serve.EditsRequest{Edits: op.edits}, &eres); err != nil {
+				return lats, canon, rebuilds, fmt.Errorf("op %d (edits): %w", i, err)
+			}
+			if eres.Error != nil {
+				return lats, canon, rebuilds, fmt.Errorf("op %d (edits): server: %w", i, eres.Error)
+			}
+			account(eres.Engines)
+		case opMeasure:
 			t0 := time.Now()
 			var m serve.MeasureResponse
-			if err = c.post("/v1/sessions/"+st.name+"/measure", struct{}{}, &m); err != nil {
-				return lats, canon, rebuilds, fmt.Errorf("measure after batch %d: %w", i, err)
+			if err = c.post(path+"/measure", struct{}{}, &m); err != nil {
+				return lats, canon, rebuilds, fmt.Errorf("op %d (measure): %w", i, err)
 			}
 			lats = append(lats, float64(time.Since(t0).Microseconds())/1000)
 			canon = append(canon, m.Canonical)
-			if n := rebuildCount(m.Engines); n > baseline {
-				rebuilds += n - baseline
-				baseline = n
+			account(m.Engines)
+			excluded = false
+		case opCompose:
+			var cres serve.ComposeResponse
+			if err = c.post(path+"/compose", struct{}{}, &cres); err != nil {
+				return lats, canon, rebuilds, fmt.Errorf("op %d (compose): %w", i, err)
 			}
+			account(cres.Engines)
+		case opDecompose:
+			var dres serve.DecomposeResponse
+			req := serve.DecomposeRequest{Decompose: op.decompose}
+			if err = c.post(path+"/decompose", req, &dres); err != nil {
+				return lats, canon, rebuilds, fmt.Errorf("op %d (decompose): %w", i, err)
+			}
+			account(dres.Engines)
+		case opRestore:
+			var rres serve.RestoreResponse
+			if err = c.post(path+"/restore", struct{}{}, &rres); err != nil {
+				return lats, canon, rebuilds, fmt.Errorf("op %d (restore): %w", i, err)
+			}
+			account(rres.Engines)
 		}
-	}
-
-	// The steady-state window closes here; composition legitimately pays
-	// for structural work (merges), so its rebuilds are not counted.
-	if o.ComposeAtEnd {
-		var cres serve.ComposeResponse
-		if err = c.post("/v1/sessions/"+st.name+"/compose", struct{}{}, &cres); err != nil {
-			return lats, canon, rebuilds, fmt.Errorf("compose: %w", err)
-		}
-		var m serve.MeasureResponse
-		if err = c.post("/v1/sessions/"+st.name+"/measure", struct{}{}, &m); err != nil {
-			return lats, canon, rebuilds, fmt.Errorf("final measure: %w", err)
-		}
-		canon = append(canon, m.Canonical)
 	}
 	return lats, canon, rebuilds, nil
 }
@@ -580,6 +920,12 @@ func (c *client) post(path string, body, out any) error {
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
+		// Error bodies are structured wire.Error envelopes; surface the
+		// typed error so callers can branch on its stable code.
+		var werr wire.Error
+		if json.Unmarshal(data, &werr) == nil && werr.Code != "" {
+			return fmt.Errorf("POST %s: HTTP %d: %w", path, resp.StatusCode, &werr)
+		}
 		return fmt.Errorf("POST %s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(data))
 	}
 	return json.Unmarshal(data, out)

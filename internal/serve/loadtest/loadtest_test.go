@@ -31,3 +31,37 @@ func TestSmoke(t *testing.T) {
 		t.Fatalf("measures=%d composes=%d", res.Measures, res.Composes)
 	}
 }
+
+// TestECOSmoke runs the ECO-replay stream profile: logic edits interleaved
+// with bank (merge), debank (split), compose, and slack-driven decompose
+// rounds. The retained engines must stay delta-incremental outside the
+// structural windows those rounds open, and every stream must still replay
+// byte-identically against its single-threaded oracle.
+func TestECOSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ECO harness smoke is not a -short test")
+	}
+	o := DefaultECOOptions()
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyRebuilds != 0 {
+		t.Fatalf("steady-state rebuilds = %d, want 0", res.SteadyRebuilds)
+	}
+	if res.OracleStreams != o.Sessions {
+		t.Fatalf("oracle streams verified = %d, want %d", res.OracleStreams, o.Sessions)
+	}
+	if res.MergeOps == 0 {
+		t.Fatal("ECO stream generated no merge ops")
+	}
+	if res.SplitOps == 0 {
+		t.Fatal("ECO stream generated no split ops")
+	}
+	if res.Decomposes == 0 {
+		t.Fatal("ECO stream ran no decompose passes")
+	}
+	if res.Composes == 0 {
+		t.Fatal("ECO stream ran no compose passes")
+	}
+}

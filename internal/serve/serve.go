@@ -50,6 +50,7 @@ type ManagerStats struct {
 	Edits      int64 `json:"edits"`
 	Measures   int64 `json:"measures"`
 	Composes   int64 `json:"composes"`
+	Decomposes int64 `json:"decomposes"`
 	Snapshots  int64 `json:"snapshots"`
 }
 
@@ -64,6 +65,7 @@ type Manager struct {
 
 	created, restored, evicted, evictedLRU    atomic.Int64
 	batches, edits, measures, composes, snaps atomic.Int64
+	decomposes                                atomic.Int64
 }
 
 // NewManager returns an empty registry.
@@ -233,6 +235,7 @@ func (m *Manager) Stats() ManagerStats {
 		Edits:      m.edits.Load(),
 		Measures:   m.measures.Load(),
 		Composes:   m.composes.Load(),
+		Decomposes: m.decomposes.Load(),
 		Snapshots:  m.snaps.Load(),
 	}
 }

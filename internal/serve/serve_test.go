@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/flow"
+	"repro/internal/serve/wire"
 )
 
 // testSource is a small benchmark design that loads fast.
@@ -31,9 +32,7 @@ func skewEdits(t *testing.T, src Source, n int) []flow.Edit {
 		if in.Fixed {
 			continue
 		}
-		edits = append(edits, flow.Edit{
-			Op: "skew", Inst: in.Name, SkewPS: float64(7 + 3*len(edits)),
-		})
+		edits = append(edits, flow.Skew(in.Name, float64(7+3*len(edits))))
 	}
 	if len(edits) < n {
 		t.Fatalf("only %d movable registers", len(edits))
@@ -128,7 +127,7 @@ func TestSessionJournalAndInfo(t *testing.T) {
 		t.Fatalf("info counters: %+v", info)
 	}
 	// A failing batch journals only its applied prefix.
-	bad := append(edits[:1:1], flow.Edit{Op: "move", Inst: "no_such", X: flow.Coord(1), Y: flow.Coord(1)})
+	bad := append(edits[:1:1], flow.MoveTo("no_such", 1, 1))
 	if _, _, err := s.Apply(bad); err == nil {
 		t.Fatal("expected failing batch")
 	}
@@ -206,12 +205,15 @@ func TestHTTPRoundTrip(t *testing.T) {
 		t.Fatalf("applied %d", eres.Applied)
 	}
 	// Partial failure: 422 with the applied prefix and the error string.
-	bad := []flow.Edit{edits[0], {Op: "move", Inst: "no_such", X: flow.Coord(1), Y: flow.Coord(1)}}
+	bad := []flow.Edit{edits[0], flow.MoveTo("no_such", 1, 1)}
 	if code := post("/v1/sessions/h/edits", EditsRequest{Edits: bad}, &eres); code != http.StatusUnprocessableEntity {
 		t.Fatalf("partial batch = %d", code)
 	}
-	if eres.Applied != 1 || !strings.Contains(eres.Error, "no_such") {
+	if eres.Applied != 1 || eres.Error == nil || !strings.Contains(eres.Error.Message, "no_such") {
 		t.Fatalf("partial response %+v", eres)
+	}
+	if eres.Error.Code != wire.CodeValidation || eres.Error.Op != "edits" {
+		t.Fatalf("partial error envelope %+v", eres.Error)
 	}
 
 	var mres MeasureResponse

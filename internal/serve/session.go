@@ -49,17 +49,18 @@ func (c SessionConfig) flowConfig() flow.Config {
 
 // SessionInfo is one session's registry row.
 type SessionInfo struct {
-	Name     string    `json:"name"`
-	Design   string    `json:"design"`
-	Epoch    uint64    `json:"epoch"`
-	Ops      int       `json:"ops"`
-	Batches  int64     `json:"batches"`
-	Edits    int64     `json:"edits"`
-	Measures int64     `json:"measures"`
-	Composes int64     `json:"composes"`
-	Created  time.Time `json:"created"`
-	LastOp   time.Time `json:"lastOp"`
-	Evicted  bool      `json:"evicted,omitempty"`
+	Name       string    `json:"name"`
+	Design     string    `json:"design"`
+	Epoch      uint64    `json:"epoch"`
+	Ops        int       `json:"ops"`
+	Batches    int64     `json:"batches"`
+	Edits      int64     `json:"edits"`
+	Measures   int64     `json:"measures"`
+	Composes   int64     `json:"composes"`
+	Decomposes int64     `json:"decomposes"`
+	Created    time.Time `json:"created"`
+	LastOp     time.Time `json:"lastOp"`
+	Evicted    bool      `json:"evicted,omitempty"`
 }
 
 // ComposeInfo is a compose request's outcome on the wire.
@@ -93,7 +94,7 @@ type Session struct {
 	created time.Time
 	lastOp  time.Time
 
-	batches, edits, measures, composes int64
+	batches, edits, measures, composes, decomposes int64
 }
 
 // newSession loads the source, opens the flow session and, when restoring,
@@ -202,22 +203,83 @@ func (s *Session) Compose() (*ComposeInfo, map[string]engine.Summary, error) {
 	return info, s.fs.Engines(), nil
 }
 
+// DecomposeInfo is a decompose request's outcome on the wire.
+type DecomposeInfo struct {
+	Victims       []string `json:"victims,omitempty"`
+	Decomposed    int      `json:"decomposed"`
+	Parts         int      `json:"parts"`
+	RegsBefore    int      `json:"regsBefore"`
+	RegsAfter     int      `json:"regsAfter"`
+	FromSlackFeed bool     `json:"fromSlackFeed"`
+}
+
+// Decompose runs one slack-driven decomposition pass under the write
+// lock. The exact config is journaled so snapshot replay selects the same
+// victims.
+func (s *Session) Decompose(dcfg flow.DecomposeConfig) (*DecomposeInfo, map[string]engine.Summary, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.evicted {
+		return nil, nil, ErrEvicted
+	}
+	dres, err := s.fs.DecomposePassWith(dcfg)
+	if err != nil {
+		return nil, s.fs.Engines(), err
+	}
+	cfgCopy := dcfg
+	s.journal = append(s.journal, Op{Kind: OpDecompose, Decompose: &cfgCopy})
+	s.decomposes++
+	s.lastOp = now()
+	s.mgr.decomposes.Add(1)
+	return &DecomposeInfo{
+		Victims:       dres.Victims,
+		Decomposed:    len(dres.Victims),
+		Parts:         dres.Parts,
+		RegsBefore:    dres.RegsBefore,
+		RegsAfter:     dres.RegsAfter,
+		FromSlackFeed: dres.FromSlackFeed,
+	}, s.fs.Engines(), nil
+}
+
+// RestoreInfo is a restore-pass request's outcome on the wire.
+type RestoreInfo struct {
+	Restored int `json:"restored"`
+}
+
+// Restore re-merges leftover split bits (flow.Session.RestorePass) under
+// the write lock; journaled like every other state-advancing op.
+func (s *Session) Restore() (*RestoreInfo, map[string]engine.Summary, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.evicted {
+		return nil, nil, ErrEvicted
+	}
+	n, err := s.fs.RestorePass()
+	if err != nil {
+		return nil, s.fs.Engines(), err
+	}
+	s.journal = append(s.journal, Op{Kind: OpRestore})
+	s.lastOp = now()
+	return &RestoreInfo{Restored: n}, s.fs.Engines(), nil
+}
+
 // Info returns the session's registry row.
 func (s *Session) Info() SessionInfo {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return SessionInfo{
-		Name:     s.name,
-		Design:   s.fs.Design().Name,
-		Epoch:    s.fs.Epoch(),
-		Ops:      len(s.journal),
-		Batches:  s.batches,
-		Edits:    s.edits,
-		Measures: s.measures,
-		Composes: s.composes,
-		Created:  s.created,
-		LastOp:   s.lastOp,
-		Evicted:  s.evicted,
+		Name:       s.name,
+		Design:     s.fs.Design().Name,
+		Epoch:      s.fs.Epoch(),
+		Ops:        len(s.journal),
+		Batches:    s.batches,
+		Edits:      s.edits,
+		Measures:   s.measures,
+		Composes:   s.composes,
+		Decomposes: s.decomposes,
+		Created:    s.created,
+		LastOp:     s.lastOp,
+		Evicted:    s.evicted,
 	}
 }
 
@@ -306,10 +368,7 @@ func (b *stateBuf) Write(p []byte) (int, error) {
 func cloneEdits(edits []flow.Edit) []flow.Edit {
 	out := make([]flow.Edit, len(edits))
 	for i, e := range edits {
-		out[i] = e
-		if e.Group != nil {
-			out[i].Group = append([]string(nil), e.Group...)
-		}
+		out[i] = e.Clone()
 	}
 	return out
 }
@@ -320,6 +379,10 @@ func cloneOps(ops []Op) []Op {
 		out[i] = Op{Kind: op.Kind, Edits: cloneEdits(op.Edits)}
 		if op.Edits == nil {
 			out[i].Edits = nil
+		}
+		if op.Decompose != nil {
+			dc := *op.Decompose
+			out[i].Decompose = &dc
 		}
 	}
 	return out

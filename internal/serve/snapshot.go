@@ -87,15 +87,19 @@ func (s Source) clone() Source {
 
 // Op kinds. Every state-advancing session operation has one.
 const (
-	OpEdits   = "edits"
-	OpMeasure = "measure"
-	OpCompose = "compose"
+	OpEdits     = "edits"
+	OpMeasure   = "measure"
+	OpCompose   = "compose"
+	OpDecompose = "decompose"
+	OpRestore   = "restore"
 )
 
-// Op is one journaled session operation.
+// Op is one journaled session operation. Decompose ops record the exact
+// config the pass ran with, so replay selects the same victims.
 type Op struct {
-	Kind  string      `json:"kind"`
-	Edits []flow.Edit `json:"edits,omitempty"`
+	Kind      string                `json:"kind"`
+	Edits     []flow.Edit           `json:"edits,omitempty"`
+	Decompose *flow.DecomposeConfig `json:"decompose,omitempty"`
 }
 
 // Snapshot is a session's portable, replayable capture.
@@ -124,6 +128,14 @@ func (s *Session) replay(snap *Snapshot) error {
 			_, err = s.fs.Measure()
 		case OpCompose:
 			_, err = s.fs.ComposePass()
+		case OpDecompose:
+			if op.Decompose == nil {
+				err = fmt.Errorf("decompose op without config")
+			} else {
+				_, err = s.fs.DecomposePassWith(*op.Decompose)
+			}
+		case OpRestore:
+			_, err = s.fs.RestorePass()
 		default:
 			err = fmt.Errorf("unknown op kind %q", op.Kind)
 		}
@@ -151,6 +163,8 @@ func (s *Session) replay(snap *Snapshot) error {
 			s.measures++
 		case OpCompose:
 			s.composes++
+		case OpDecompose:
+			s.decomposes++
 		}
 	}
 	return nil

@@ -48,20 +48,20 @@ func editScript(t *testing.T, src Source) [][]flow.Edit {
 	}
 	batches := [][]flow.Edit{
 		{
-			{Op: "skew", Inst: movable[0].name, SkewPS: 11},
-			{Op: "skew", Inst: movable[1].name, SkewPS: -7},
+			flow.Skew(movable[0].name, 11),
+			flow.Skew(movable[1].name, -7),
 		},
 		{
-			{Op: "move", Inst: movable[2].name, X: flow.Coord(movable[2].x + 640), Y: flow.Coord(movable[2].y)},
-			{Op: "skew", Inst: movable[3].name, SkewPS: 23},
+			flow.MoveTo(movable[2].name, movable[2].x+640, movable[2].y),
+			flow.Skew(movable[3].name, 23),
 		},
 		{
-			{Op: "skew", Inst: movable[4].name, SkewPS: -15},
-			{Op: "skew", Inst: movable[5].name, SkewPS: 4},
+			flow.Skew(movable[4].name, -15),
+			flow.Skew(movable[5].name, 4),
 		},
 	}
 	if movable[1].alt != "" {
-		batches[2] = append(batches[2], flow.Edit{Op: "resize", Inst: movable[1].name, Cell: movable[1].alt})
+		batches[2] = append(batches[2], flow.Resize(movable[1].name, movable[1].alt))
 	}
 	return batches
 }

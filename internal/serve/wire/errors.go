@@ -1,0 +1,36 @@
+package wire
+
+// Error is the composition server's structured error envelope: every
+// non-2xx mbrserved response body is one of these. Code is a stable
+// machine-readable discriminator (clients branch on it, never on the
+// message text), Op names the server operation that failed, Message is
+// the human-readable detail.
+type Error struct {
+	Code    string `json:"code"`
+	Op      string `json:"op,omitempty"`
+	Message string `json:"message"`
+}
+
+// Stable error codes. These are wire contract: tests and clients (the
+// load harness included) assert on them, so a code change is a breaking
+// API change.
+const (
+	// CodeNotFound: the named session does not exist.
+	CodeNotFound = "not_found"
+	// CodeEvicted: the session was LRU-evicted while the request raced it.
+	CodeEvicted = "evicted"
+	// CodeValidation: the request was understood but rejected — a bad
+	// edit, an unknown profile, a config out of range, a digest mismatch.
+	CodeValidation = "validation"
+	// CodeBodyTooLarge: the request body exceeded the server's bound.
+	CodeBodyTooLarge = "body_too_large"
+)
+
+// Error implements the error interface so an envelope decoded from a
+// response body can flow through error-returning client code unchanged.
+func (e *Error) Error() string {
+	if e.Op != "" {
+		return e.Op + ": " + e.Code + ": " + e.Message
+	}
+	return e.Code + ": " + e.Message
+}
