@@ -7,11 +7,12 @@
 #   make bench-smoke # one-iteration benchmark pass (CI: catches bit-rot)
 #   make serve-smoke # composition-server load harness (determinism + zero rebuilds)
 #   make eco-smoke  # ECO-replay load harness (bank/debank rounds) under -race
+#   make scale-smoke # Scale:5 end-to-end sweep of all profiles with a peak-RSS bound
 #   make golden     # regenerate flow golden files after an intended change
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-smoke serve-smoke eco-smoke golden fuzz
+.PHONY: all build test race lint bench bench-smoke serve-smoke eco-smoke scale-smoke golden fuzz
 
 all: build test
 
@@ -53,10 +54,18 @@ serve-smoke:
 eco-smoke:
 	$(GO) run -race ./cmd/mbrserved -selftest -eco
 
+# End-to-end scale sweep: generate, STA, compat and streamed composition on
+# all five profiles at Scale 5 (a fifth of the paper's cell counts), with the
+# process peak RSS asserted under 4 GB. Catches both wall-time blowups (CI's
+# job timeout) and memory regressions in the streaming pipeline.
+scale-smoke:
+	$(GO) run ./cmd/scalebench -profiles D1,D2,D3,D4,D5 -scales 5 -maxrss-mb 4096 -out /dev/null
+
 golden:
 	$(GO) test ./internal/flow -run TestGolden -update
 
 fuzz:
 	$(GO) test ./internal/clique -fuzz FuzzEnumerateSubCliques -fuzztime 30s
+	$(GO) test ./internal/clique -fuzz FuzzParallelSubCliqueMerge -fuzztime 30s
 	$(GO) test ./internal/route -fuzz FuzzEstimateDeltaEquivalence -fuzztime 30s
 	$(GO) test ./internal/ilp -fuzz FuzzSolveCoverWarmStart -fuzztime 30s

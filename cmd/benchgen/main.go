@@ -14,18 +14,28 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/prof"
 )
 
 func main() {
 	var (
-		profile = flag.String("profile", "", "design profile: D1..D5 (empty = custom)")
-		scale   = flag.Int("scale", bench.DefaultScale, "divide the paper's register counts by this")
-		regs    = flag.Int("regs", 1000, "custom profile: number of registers")
-		seed    = flag.Int64("seed", 1, "custom profile: RNG seed")
-		out     = flag.String("out", "", "output design JSON (default stdout)")
-		scanOut = flag.String("scanout", "", "output scan plan JSON (optional)")
+		profile    = flag.String("profile", "", "design profile: D1..D5 (empty = custom)")
+		scale      = flag.Int("scale", bench.DefaultScale, "divide the paper's register counts by this")
+		regs       = flag.Int("regs", 1000, "custom profile: number of registers")
+		seed       = flag.Int64("seed", 1, "custom profile: RNG seed")
+		out        = flag.String("out", "", "output design JSON (default stdout)")
+		scanOut    = flag.String("scanout", "", "output scan plan JSON (optional)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	var spec bench.Spec
 	switch *profile {

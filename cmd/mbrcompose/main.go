@@ -20,6 +20,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/lib"
 	"repro/internal/netlist"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/scan"
 )
@@ -38,8 +39,16 @@ func main() {
 		noSizing     = flag.Bool("nosizing", false, "skip MBR sizing")
 		fig5         = flag.Bool("fig5", false, "also print the bit-width histograms (Fig. 5)")
 		workers      = flag.Int("workers", 0, "composition worker count (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	var (
 		d    *netlist.Design

@@ -409,6 +409,8 @@ func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgr
 		ps.WarmAccepted = es.WarmAccepted - esBefore.WarmAccepted
 		ps.WarmRetried = es.WarmRetried - esBefore.WarmRetried
 		ps.TightenPruned = es.TightenPruned - esBefore.TightenPruned
+		ps.SchedShards = es.SchedShards - esBefore.SchedShards
+		ps.SchedSteals = es.SchedSteals - esBefore.SchedSteals
 		if text {
 			fmt.Printf("  composed: %d MBRs, registers %d -> %d (%d truncated subgraphs)\n",
 				len(cres.MBRs), cres.RegsBefore, cres.RegsAfter, cres.TruncatedSubgraphs)
@@ -418,6 +420,8 @@ func runPasses(d *netlist.Design, plan *scan.Plan, eng *sta.Engine, cg *compatgr
 				es.HintMisses-esBefore.HintMisses)
 			fmt.Printf("  compose warm: %d seeded, %d accepted, %d retried; %d columns tighten-pruned\n",
 				ps.WarmSeeded, ps.WarmAccepted, ps.WarmRetried, ps.TightenPruned)
+			fmt.Printf("  compose sched: %d shards scheduled, %d stolen (workers %d)\n",
+				ps.SchedShards, ps.SchedSteals, cres.Workers)
 		}
 		if err := ct.Update(); err != nil {
 			fatal(err)

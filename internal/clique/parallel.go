@@ -1,0 +1,323 @@
+package clique
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// Parallel clique enumeration. Both entry points split the *top-level*
+// branches of their search trees across a worker pool and merge the branch
+// outputs deterministically, so the result is byte-identical to the
+// sequential enumeration at any worker count:
+//
+//   - MaximalCliquesParallel splits the pivot branches of the outermost
+//     Bron–Kerbosch call. The branch (r,p,x) tuples are precomputed
+//     sequentially (they depend on the processing order of earlier
+//     branches), each branch recurses independently, and the merge is
+//     append + the same final sort the sequential path applies.
+//
+//   - EnumerateSubCliquesParallel splits each layer's root vertices. The
+//     layered DFS roots every clique at its smallest vertex and emits
+//     branches in ascending root order, so concatenating per-branch outputs
+//     in root order reproduces the sequential emission order exactly —
+//     including where a MaxCandidates truncation cuts it.
+//
+// Subgraphs reaching these functions are small (the §3 partition bound caps
+// them at ~30 nodes), but dense ones hide exponential work behind that
+// bound; splitting the top level is what stops the single biggest subgraph
+// from serializing a composition pass's tail.
+
+// MaximalCliquesParallel is MaximalCliques with the top-level pivot
+// branches fanned out across up to `workers` goroutines. The returned
+// slice is identical to MaximalCliques(g) for any worker count.
+func MaximalCliquesParallel(g *Graph, workers int) []uint64 {
+	all := uint64(0)
+	if g.N > 0 {
+		all = ^uint64(0) >> uint(64-g.N)
+	}
+	branches := topLevelBranches(g, all)
+	if workers <= 1 || len(branches) < 2 {
+		return MaximalCliques(g)
+	}
+	if workers > len(branches) {
+		workers = len(branches)
+	}
+	outs := make([][]uint64, len(branches))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bi := range next {
+				b := branches[bi]
+				outs[bi] = bkCollect(g, b.r, b.p, b.x)
+			}
+		}()
+	}
+	for i := range branches {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	var out []uint64
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// bkBranch is one top-level Bron–Kerbosch recursion, with the candidate and
+// exclusion sets as the sequential loop would have them when reaching it.
+type bkBranch struct{ r, p, x uint64 }
+
+// topLevelBranches replays the outermost loop of the pivoted Bron–Kerbosch
+// without recursing: it picks the same pivot and walks the same candidate
+// vertices, recording each recursion's (r,p,x) arguments.
+func topLevelBranches(g *Graph, all uint64) []bkBranch {
+	if all == 0 {
+		return nil
+	}
+	p, x := all, uint64(0)
+	pivot, best := -1, -1
+	for s := p; s != 0; {
+		u := bits.TrailingZeros64(s)
+		s &^= 1 << uint(u)
+		cnt := bits.OnesCount64(p & g.adj[u])
+		if cnt > best {
+			best, pivot = cnt, u
+		}
+	}
+	var out []bkBranch
+	for s := p &^ g.adj[pivot]; s != 0; {
+		v := bits.TrailingZeros64(s)
+		s &^= 1 << uint(v)
+		vb := uint64(1) << uint(v)
+		out = append(out, bkBranch{r: vb, p: p & g.adj[v], x: x & g.adj[v]})
+		p &^= vb
+		x |= vb
+	}
+	return out
+}
+
+// bkCollect runs the sequential pivoted Bron–Kerbosch below one branch.
+func bkCollect(g *Graph, r, p, x uint64) []uint64 {
+	var out []uint64
+	var bk func(r, p, x uint64)
+	bk = func(r, p, x uint64) {
+		if p == 0 && x == 0 {
+			out = append(out, r)
+			return
+		}
+		pivot, best := -1, -1
+		for s := p | x; s != 0; {
+			u := bits.TrailingZeros64(s)
+			s &^= 1 << uint(u)
+			cnt := bits.OnesCount64(p & g.adj[u])
+			if cnt > best {
+				best, pivot = cnt, u
+			}
+		}
+		cand := p &^ g.adj[pivot]
+		for s := cand; s != 0; {
+			v := bits.TrailingZeros64(s)
+			s &^= 1 << uint(v)
+			vb := uint64(1) << uint(v)
+			bk(r|vb, p&g.adj[v], x&g.adj[v])
+			p &^= vb
+			x |= vb
+		}
+	}
+	bk(r, p, x)
+	return out
+}
+
+// branchOut is one root vertex's share of a layer: the cliques of the
+// target member count whose smallest vertex is that root, in DFS order.
+type branchOut struct {
+	cliques []uint64
+	totals  []int
+}
+
+// EnumerateSubCliquesParallel is EnumerateSubCliques with each layer's root
+// branches fanned out across up to `workers` goroutines. The result —
+// clique list, bit totals and the Truncated flag — is byte-identical to the
+// sequential enumeration for any worker count.
+//
+// Determinism under truncation: the sequential enumeration stops at the
+// MaxCandidates-th emission, which cuts a prefix of the (layer, root,
+// DFS-within-branch) emission order. Each parallel branch enumerates at
+// most the layer's remaining budget (no sequential prefix can contain more
+// than that from a single branch), the merge concatenates branches in root
+// order, and the concatenation is cut at the same budget — reproducing the
+// sequential prefix exactly. The bounded over-enumeration (≤ roots ×
+// remaining emissions on the layer that hits the cap) is the price of
+// keeping branches independent.
+func EnumerateSubCliquesParallel(g *Graph, spec SubCliqueSpec, workers int) (*SubCliqueResult, error) {
+	if workers <= 1 || g.N < 2 {
+		return EnumerateSubCliques(g, spec)
+	}
+	// Re-validate exactly like the sequential path, so error behavior and
+	// width handling stay shared.
+	if len(spec.Bits) != g.N {
+		return EnumerateSubCliques(g, spec) // surfaces the same error
+	}
+	for _, b := range spec.Bits {
+		if b <= 0 {
+			return EnumerateSubCliques(g, spec)
+		}
+	}
+	if len(spec.Widths) == 0 {
+		return EnumerateSubCliques(g, spec)
+	}
+	widths := append([]int(nil), spec.Widths...)
+	sort.Ints(widths)
+	maxW := widths[len(widths)-1]
+	widthOK := make([]bool, maxW+1)
+	for _, w := range widths {
+		if w <= 0 {
+			return EnumerateSubCliques(g, spec)
+		}
+		widthOK[w] = true
+	}
+	valid := func(total int) bool {
+		if total > maxW {
+			return false
+		}
+		if widthOK[total] {
+			return true
+		}
+		return spec.AllowIncomplete
+	}
+
+	res := &SubCliqueResult{}
+	capN := spec.MaxCandidates
+	remaining := func() int {
+		if capN <= 0 {
+			return -1 // unlimited
+		}
+		return capN - len(res.Cliques)
+	}
+
+	all := uint64(0)
+	if g.N > 0 {
+		all = ^uint64(0) >> uint(64-g.N)
+	}
+	for want := 1; want <= maxW && want <= g.N; want++ {
+		budget := remaining()
+		if budget == 0 {
+			break
+		}
+		outs := make([]branchOut, g.N)
+		if want == 1 || g.N < 4 {
+			// Tiny layers: enumerate the branches on the caller's goroutine.
+			for v := 0; v < g.N; v++ {
+				outs[v] = enumBranch(g, spec.Bits, valid, maxW, all, v, want, budget)
+			}
+		} else {
+			w := workers
+			if w > g.N {
+				w = g.N
+			}
+			var wg sync.WaitGroup
+			next := make(chan int)
+			for i := 0; i < w; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for v := range next {
+						outs[v] = enumBranch(g, spec.Bits, valid, maxW, all, v, want, budget)
+					}
+				}()
+			}
+			for v := 0; v < g.N; v++ {
+				next <- v
+			}
+			close(next)
+			wg.Wait()
+		}
+		// Deterministic merge: branch outputs in root order, cut at the
+		// layer budget — the sequential emission prefix.
+		truncated := false
+		for _, o := range outs {
+			for i := range o.cliques {
+				if capN > 0 && len(res.Cliques) >= capN {
+					truncated = true
+					break
+				}
+				res.Cliques = append(res.Cliques, o.cliques[i])
+				res.TotalBits = append(res.TotalBits, o.totals[i])
+				if capN > 0 && len(res.Cliques) >= capN {
+					truncated = true
+				}
+			}
+			if truncated {
+				break
+			}
+		}
+		if truncated {
+			res.Truncated = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// enumBranch enumerates the cliques of exactly `want` members rooted at
+// vertex v (v is the smallest member), in the sequential DFS order, capped
+// at `budget` emissions (budget < 0 = unlimited).
+func enumBranch(
+	g *Graph,
+	bitsOf []int,
+	valid func(int) bool,
+	maxW int,
+	all uint64,
+	v, want, budget int,
+) branchOut {
+	var out branchOut
+	nb := bitsOf[v]
+	if nb > maxW {
+		return out
+	}
+	vb := uint64(1) << uint(v)
+	if want == 1 {
+		if valid(nb) {
+			out.cliques = append(out.cliques, vb)
+			out.totals = append(out.totals, nb)
+		}
+		return out
+	}
+	emit := func(set uint64, total int) bool {
+		out.cliques = append(out.cliques, set)
+		out.totals = append(out.totals, total)
+		return budget < 0 || len(out.cliques) < budget
+	}
+	higher := ^uint64(0) << uint(v+1)
+	var dfs func(set uint64, size, total int, cand uint64) bool
+	dfs = func(set uint64, size, total int, cand uint64) bool {
+		for s := cand; s != 0; {
+			u := bits.TrailingZeros64(s)
+			s &^= 1 << uint(u)
+			nt := total + bitsOf[u]
+			if nt > maxW {
+				continue
+			}
+			nset := set | 1<<uint(u)
+			if size+1 == want {
+				if valid(nt) && !emit(nset, nt) {
+					return false
+				}
+				continue
+			}
+			uh := ^uint64(0) << uint(u+1)
+			if !dfs(nset, size+1, nt, cand&g.adj[u]&uh) {
+				return false
+			}
+		}
+		return true
+	}
+	dfs(vb, 1, nb, all&g.adj[v]&higher)
+	return out
+}

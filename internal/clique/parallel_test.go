@@ -1,0 +1,195 @@
+package clique
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestMaximalCliquesParallelMatchesSequential sweeps random graphs across
+// densities and worker counts: the parallel pivot-branch split must return
+// exactly the sequential output.
+func TestMaximalCliquesParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(24)
+		p := []float64{0.1, 0.3, 0.6, 0.9}[trial%4]
+		g := randomPropGraph(rng, n, p)
+		want := MaximalCliques(g)
+		for _, workers := range []int{1, 2, 3, 8} {
+			got := MaximalCliquesParallel(g, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d p=%.1f workers=%d: parallel %v != sequential %v",
+					n, p, workers, got, want)
+			}
+		}
+	}
+}
+
+// subCliqueEqual compares two enumeration results field by field.
+func subCliqueEqual(a, b *SubCliqueResult) bool {
+	return reflect.DeepEqual(a.Cliques, b.Cliques) &&
+		reflect.DeepEqual(a.TotalBits, b.TotalBits) &&
+		a.Truncated == b.Truncated
+}
+
+// TestEnumerateSubCliquesParallelMatchesSequential is the core determinism
+// property of the layered parallel enumeration: identical clique list, bit
+// totals and Truncated flag at any worker count — with special attention to
+// caps that cut mid-layer, where the per-branch budget + ordered merge must
+// reproduce the sequential emission prefix exactly.
+func TestEnumerateSubCliquesParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	widthSets := [][]int{{1, 2, 4, 8}, {2, 4}, {1, 3, 8}, {4}}
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(20)
+		p := []float64{0.2, 0.5, 0.8, 1.0}[trial%4]
+		g := randomPropGraph(rng, n, p)
+		bits := make([]int, n)
+		for i := range bits {
+			bits[i] = 1 + rng.Intn(4)
+		}
+		spec := SubCliqueSpec{
+			Bits:            bits,
+			Widths:          widthSets[trial%len(widthSets)],
+			AllowIncomplete: trial%2 == 0,
+		}
+		// Sweep caps including ones that truncate mid-layer; 0 = unlimited.
+		for _, maxCands := range []int{0, 1, 3, 17, 100} {
+			spec.MaxCandidates = maxCands
+			want, wantErr := EnumerateSubCliques(g, spec)
+			for _, workers := range []int{2, 5, 16} {
+				got, gotErr := EnumerateSubCliquesParallel(g, spec, workers)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("trial=%d cap=%d workers=%d: err %v vs %v",
+						trial, maxCands, workers, gotErr, wantErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if !subCliqueEqual(got, want) {
+					t.Fatalf("trial=%d n=%d p=%.1f cap=%d workers=%d diverged:\npar: %v %v trunc=%v\nseq: %v %v trunc=%v",
+						trial, n, p, maxCands, workers,
+						got.Cliques, got.TotalBits, got.Truncated,
+						want.Cliques, want.TotalBits, want.Truncated)
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateSubCliquesParallelErrors pins that invalid specs fail the
+// same way on both paths.
+func TestEnumerateSubCliquesParallelErrors(t *testing.T) {
+	g := randomPropGraph(rand.New(rand.NewSource(1)), 6, 0.5)
+	bad := []SubCliqueSpec{
+		{Bits: []int{1, 1}, Widths: []int{2}},                 // length mismatch
+		{Bits: []int{1, 1, 1, 1, 1, 1}, Widths: nil},          // no widths
+		{Bits: []int{1, 1, 1, 1, 1, 0}, Widths: []int{2}},     // zero bits
+		{Bits: []int{1, 1, 1, 1, 1, 1}, Widths: []int{0, 2}},  // zero width
+		{Bits: []int{1, 1, 1, 1, 1, -2}, Widths: []int{2}},    // negative bits
+		{Bits: []int{1, 1, 1, 1, 1, 1}, Widths: []int{-1, 4}}, // negative width
+		{Bits: []int{1, 2, 3, 4, 5, 6, 7}, Widths: []int{4}},  // length mismatch
+	}
+	for i, spec := range bad {
+		_, seqErr := EnumerateSubCliques(g, spec)
+		_, parErr := EnumerateSubCliquesParallel(g, spec, 4)
+		if seqErr == nil {
+			t.Fatalf("case %d: expected sequential error", i)
+		}
+		if parErr == nil || parErr.Error() != seqErr.Error() {
+			t.Fatalf("case %d: parallel error %v != sequential %v", i, parErr, seqErr)
+		}
+	}
+}
+
+// FuzzParallelSubCliqueMerge decodes a byte string into a graph, bit widths
+// and a candidate cap, then requires the parallel branch merge to reproduce
+// the sequential enumeration exactly — the corpus `make fuzz` explores for
+// merge/truncation boundary bugs.
+func FuzzParallelSubCliqueMerge(f *testing.F) {
+	f.Add([]byte{6, 0xff, 0x0f, 1, 2, 1, 2, 1, 2, 5})
+	f.Add([]byte{4, 0x3c, 1, 1, 1, 1, 0})
+	f.Add([]byte{12, 0xaa, 0x55, 0xff, 2, 1, 3, 1, 2, 1, 4, 1, 2, 1, 3, 1, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		n := int(data[0]) % 18
+		if n == 0 {
+			t.Skip()
+		}
+		data = data[1:]
+		// Adjacency from the next ceil(n*(n-1)/2 / 8) bytes (bit per pair).
+		g := NewGraph(n)
+		pair := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				byteIdx, bitIdx := pair/8, uint(pair%8)
+				if byteIdx < len(data) && data[byteIdx]&(1<<bitIdx) != 0 {
+					g.AddEdge(i, j)
+				}
+				pair++
+			}
+		}
+		rest := (pair + 7) / 8
+		if rest > len(data) {
+			rest = len(data)
+		}
+		data = data[rest:]
+		bits := make([]int, n)
+		for i := range bits {
+			bits[i] = 1
+			if i < len(data) {
+				bits[i] = 1 + int(data[i])%8
+			}
+		}
+		maxCands := 0
+		if n < len(data) {
+			maxCands = int(data[n]) % 64
+		}
+		spec := SubCliqueSpec{
+			Bits:            bits,
+			Widths:          []int{1, 2, 4, 8},
+			AllowIncomplete: n%2 == 0,
+			MaxCandidates:   maxCands,
+		}
+		want, wantErr := EnumerateSubCliques(g, spec)
+		for _, workers := range []int{2, 7} {
+			got, gotErr := EnumerateSubCliquesParallel(g, spec, workers)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("workers=%d: err %v vs %v", workers, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				return
+			}
+			if !subCliqueEqual(got, want) {
+				t.Fatalf("workers=%d: parallel diverged from sequential\npar: %v trunc=%v\nseq: %v trunc=%v",
+					workers, got.Cliques, got.Truncated, want.Cliques, want.Truncated)
+			}
+		}
+	})
+}
+
+// BenchmarkEnumerateSubCliquesParallel measures the top-branch split on a
+// dense 30-node subgraph — the single-biggest-component critical path the
+// shard scheduler cannot shorten alone.
+func BenchmarkEnumerateSubCliquesParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomPropGraph(rng, 30, 0.85)
+	bits := make([]int, 30)
+	for i := range bits {
+		bits[i] = 1 + rng.Intn(2)
+	}
+	spec := SubCliqueSpec{Bits: bits, Widths: []int{1, 2, 4, 8}, AllowIncomplete: true, MaxCandidates: 6000}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EnumerateSubCliquesParallel(g, spec, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -148,12 +148,26 @@ func enumerateCandidates(
 	if maxCands <= 0 {
 		maxCands = 6000
 	}
-	res, err := clique.EnumerateSubCliques(cg, clique.SubCliqueSpec{
+	spec := clique.SubCliqueSpec{
 		Bits:            bits,
 		Widths:          widths,
 		AllowIncomplete: opts.AllowIncomplete,
 		MaxCandidates:   maxCands,
-	})
+	}
+	// Large subgraphs split their top-level Bron–Kerbosch branches across
+	// the worker pool — byte-identical output by the clique package's
+	// contract — so the single biggest component stops being the critical
+	// path. Small subgraphs stay sequential; the goroutine machinery would
+	// cost more than the enumeration.
+	var res *clique.SubCliqueResult
+	if thr := opts.ParallelCliqueThreshold; thr > 0 && len(nodes) >= thr {
+		if w := resolveWorkers(opts.Workers); w > 1 {
+			res, err = clique.EnumerateSubCliquesParallel(cg, spec, w)
+		}
+	}
+	if res == nil && err == nil {
+		res, err = clique.EnumerateSubCliques(cg, spec)
+	}
 	if err != nil {
 		return nil, false, err
 	}

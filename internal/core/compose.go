@@ -40,6 +40,9 @@ func normalizeOptions(opts Options) Options {
 	if !opts.UseWeights && (opts.MaxCandidatesPerSubgraph == 0 || opts.MaxCandidatesPerSubgraph > 1500) {
 		opts.MaxCandidatesPerSubgraph = 1500
 	}
+	if opts.ParallelCliqueThreshold == 0 {
+		opts.ParallelCliqueThreshold = 24
+	}
 	return opts
 }
 
@@ -57,24 +60,39 @@ func ComposeWith(d *netlist.Design, g *compat.Graph, plan *scan.Plan, subgraphs 
 	}
 
 	ri := newRegIndex(d)
-	if subgraphs == nil {
-		subgraphs = partition.Decompose(len(g.Regs), g.Adj,
-			func(n int) geom.Point { return g.Regs[n].ClockPos }, opts.MaxSubgraphNodes)
-	}
-	res.Subgraphs = len(subgraphs)
-	res.Workers = resolveWorkers(opts.Workers)
+	var selected []candidate
+	if subgraphs == nil && !opts.DisableStreaming {
+		// Streamed pipeline: decompose, solve and reduce shard by shard
+		// through bounded channels — the decomposition is never materialized
+		// and peak memory tracks live shards. See stream.go.
+		var err error
+		selected, err = solveStreamed(d, g, ri, opts, res)
+		if err != nil {
+			return nil, err
+		}
+		res.Workers = resolveWorkers(opts.Workers)
+	} else {
+		if subgraphs == nil {
+			subgraphs = partition.Decompose(len(g.Regs), g.Adj,
+				func(n int) geom.Point { return g.Regs[n].ClockPos }, opts.MaxSubgraphNodes)
+		}
+		res.Subgraphs = len(subgraphs)
+		res.Workers = resolveWorkers(opts.Workers)
 
-	// Per-partition pipeline (enumeration → scoring → selection), fanned out
-	// across the worker pool; see parallel.go for the determinism argument.
-	subResults, err := solveSubgraphs(d, g, ri, subgraphs, opts)
-	if err != nil {
-		return nil, err
-	}
+		// Per-partition pipeline (enumeration → scoring → selection), sharded
+		// across the worker pool; see parallel.go for the determinism argument.
+		subResults, st, err := solveSubgraphs(d, g, ri, subgraphs, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.SchedShards = st.shards
+		res.SchedSteals = st.steals
 
-	// Ordered reduce: accumulate in subgraph index order — the same order
-	// the sequential loop used — so counts, the floating-point objective sum
-	// and the selected list are identical for any worker count.
-	selected := reduceResults(subResults, res)
+		// Ordered reduce: accumulate in subgraph index order — the same order
+		// the sequential loop used — so counts, the floating-point objective sum
+		// and the selected list are identical for any worker count.
+		selected = reduceResults(subResults, res)
+	}
 
 	if err := commitSelected(d, g, plan, selected, opts, res); err != nil {
 		return nil, err

@@ -112,6 +112,23 @@ type Options struct {
 	// (0 = default 65536). A round presenting more subgraphs than the
 	// limit falls back to the memo-free path for that round.
 	MemoLimit int
+
+	// ParallelCliqueThreshold is the subgraph node count at or above which
+	// sub-clique enumeration splits its top-level Bron–Kerbosch branches
+	// across the worker pool (clique.EnumerateSubCliquesParallel); smaller
+	// subgraphs enumerate sequentially, where goroutine overhead would
+	// dominate. 0 = default 24; negative disables intra-subgraph clique
+	// parallelism. Result-neutral: the parallel enumeration is
+	// byte-identical to the sequential one at any worker count.
+	ParallelCliqueThreshold int
+	// DisableStreaming makes the batch entry points (Compose/ComposeWith
+	// with subgraphs == nil) materialize the whole decomposition up front,
+	// the pre-streaming behavior. The zero value (streaming on) decomposes,
+	// solves and reduces shard by shard through bounded channels, keeping
+	// peak memory proportional to live shards instead of the whole
+	// decomposition. Result-neutral: both paths are byte-identical.
+	// Ignored when subgraphs are supplied (the retained engines' path).
+	DisableStreaming bool
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -176,6 +193,25 @@ type Result struct {
 	// legalization outcome for the new MBRs.
 	LegalizationMoved  int
 	LegalizationFailed int
+
+	// SchedShards / SchedSteals report the work-stealing shard scheduler:
+	// shards scheduled this run (0 when the sequential or streaming path
+	// ran) and shards a worker claimed from another worker's queue.
+	// SchedSteals depends on the goroutine schedule and is excluded from
+	// byte-identity oracles.
+	SchedShards int
+	SchedSteals int
+	// StreamedShards counts subgraphs that flowed through the streaming
+	// pipeline (0 when a materialized decomposition was solved).
+	StreamedShards int
+	// PeakLiveShards / PeakLiveCands are streaming high-water marks: the
+	// most shards simultaneously in the pipeline (queued, solving, or
+	// awaiting the ordered reduce) and the largest concurrent sum of their
+	// candidate counts — the evidence that peak memory tracks live shards,
+	// not the whole decomposition. Both depend on the goroutine schedule
+	// and are excluded from byte-identity oracles.
+	PeakLiveShards int
+	PeakLiveCands  int
 }
 
 // BitWidthHistogram returns register-instance counts keyed by bit width —

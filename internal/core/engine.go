@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"math"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/compat"
@@ -115,6 +114,12 @@ type EngineStats struct {
 	// Fallbacks counts rounds served by the memo-free path (memo disabled
 	// or subgraph count over MemoLimit).
 	Fallbacks int
+	// SchedShards / SchedSteals accumulate the work-stealing scheduler's
+	// counters across rounds: shards scheduled on the parallel path, and
+	// shards a worker claimed from another worker's queue. SchedSteals is
+	// schedule-dependent diagnostics, not part of any identity oracle.
+	SchedShards int
+	SchedSteals int
 	// Invalidations counts retained-state drops (Invalidate calls and
 	// solve-relevant option changes).
 	Invalidations int
@@ -212,10 +217,14 @@ func (e *Engine) Compose(g *compat.Graph, plan *scan.Plan, subgraphs [][]int, cl
 		e.sum.Rebuilds++
 		e.sum.LastKind = kind
 		ri := e.regIndex()
-		subResults, err := solveSubgraphs(e.d, g, ri, subgraphs, opts)
+		subResults, st, err := solveSubgraphs(e.d, g, ri, subgraphs, opts)
 		if err != nil {
 			return nil, err
 		}
+		res.SchedShards = st.shards
+		res.SchedSteals = st.steals
+		e.stats.SchedShards += st.shards
+		e.stats.SchedSteals += st.steals
 		selected := reduceResults(subResults, res)
 		if err := commitSelected(e.d, g, plan, selected, opts, res); err != nil {
 			return nil, err
@@ -258,31 +267,25 @@ func (e *Engine) Compose(g *compat.Graph, plan *scan.Plan, subgraphs [][]int, cl
 		slots[i].ent = entryOf(sr, nodes)
 	}
 
+	// Shard the round across the pool with the work-stealing scheduler
+	// (scheduler.go). Memo hits make the cost model an overestimate for
+	// replayed shards, but stealing absorbs the imbalance; the clamp runs
+	// against schedulable units so large subgraphs' intra-clique branches
+	// can still use idle CPUs.
 	workers := resolveWorkers(opts.Workers)
-	if workers > len(subgraphs) {
-		workers = len(subgraphs)
+	if u := schedulableUnits(subgraphs, opts.ParallelCliqueThreshold); workers > u {
+		workers = u
 	}
 	if workers <= 1 {
 		for i := range subgraphs {
 			process(i)
 		}
 	} else {
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for idx := range jobs {
-					process(idx)
-				}
-			}()
-		}
-		for i := range subgraphs {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
+		st := runSharded(estimateShardCosts(g, subgraphs), workers, process)
+		res.SchedShards = st.shards
+		res.SchedSteals = st.steals
+		e.stats.SchedShards += st.shards
+		e.stats.SchedSteals += st.steals
 	}
 
 	// Sequential merge in subgraph index order: surface the lowest-index

@@ -2,7 +2,6 @@ package core
 
 import (
 	"runtime"
-	"sync"
 
 	"repro/internal/compat"
 	"repro/internal/ilp"
@@ -17,8 +16,9 @@ import (
 // plan, the register index) is immutable while they run. Only the commit
 // phase mutates the design, and it stays sequential.
 //
-// solveSubgraphs exploits that: subgraphs are fanned out across a bounded
-// worker pool, and the results are merged by an ordered reduce — every
+// solveSubgraphs exploits that: subgraphs are sharded across a bounded
+// worker pool by the work-stealing scheduler (scheduler.go), and the
+// results are merged by an ordered reduce — every
 // accumulation (candidate counts, branch & bound nodes, the floating-point
 // objective sum, the selected candidate list) happens in subgraph index
 // order, exactly as the sequential loop would have done it. Together with
@@ -106,56 +106,47 @@ func solveSubgraph(
 }
 
 // solveSubgraphs runs solveSubgraph over every subgraph and returns the
-// results indexed like the input. With workers == 1 (or a single subgraph)
-// it runs the legacy sequential loop; otherwise it fans the subgraphs out
-// across a worker pool. Each worker writes only its own result slots, so no
-// locking is needed beyond the completion barrier. Errors are reported by
-// the lowest-index failing subgraph, matching what the sequential loop
-// would have surfaced first.
+// results indexed like the input. With workers == 1 it runs the legacy
+// sequential loop; otherwise the subgraphs are sharded across the pool by
+// the work-stealing scheduler (see scheduler.go) so a skewed cost
+// distribution no longer serializes the tail. The pool is clamped against
+// schedulableUnits rather than len(subgraphs): with a few huge subgraphs,
+// the extra workers pick up the intra-subgraph clique branches instead of
+// idling. Each shard writes only its own result slot, so no locking is
+// needed beyond the completion barrier. Errors are reported by the
+// lowest-index failing subgraph, matching what the sequential loop would
+// have surfaced first.
 func solveSubgraphs(
 	d *netlist.Design,
 	g *compat.Graph,
 	ri *regIndex,
 	subgraphs [][]int,
 	opts Options,
-) ([]subgraphResult, error) {
+) ([]subgraphResult, schedStats, error) {
 	results := make([]subgraphResult, len(subgraphs))
 	workers := resolveWorkers(opts.Workers)
-	if workers > len(subgraphs) {
-		workers = len(subgraphs)
+	if u := schedulableUnits(subgraphs, opts.ParallelCliqueThreshold); workers > u {
+		workers = u
 	}
 	if workers <= 1 {
 		for i, nodes := range subgraphs {
 			sr, err := solveSubgraph(d, g, ri, nodes, opts, nil)
 			if err != nil {
-				return nil, err
+				return nil, schedStats{}, err
 			}
 			results[i] = sr
 		}
-		return results, nil
+		return results, schedStats{}, nil
 	}
 
 	errs := make([]error, len(subgraphs))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				results[idx], errs[idx] = solveSubgraph(d, g, ri, subgraphs[idx], opts, nil)
-			}
-		}()
-	}
-	for i := range subgraphs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	st := runSharded(estimateShardCosts(g, subgraphs), workers, func(idx int) {
+		results[idx], errs[idx] = solveSubgraph(d, g, ri, subgraphs[idx], opts, nil)
+	})
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
 	}
-	return results, nil
+	return results, st, nil
 }

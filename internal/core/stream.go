@@ -1,0 +1,196 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/compat"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+)
+
+// Streamed subgraph pipeline. The batch entry points used to materialize
+// the whole decomposition (partition.Decompose) and a result slot per
+// subgraph before anything was solved — O(all shards) resident state that
+// at paper scale dwarfs the per-shard working set. solveStreamed instead
+// drives partition.Stream through bounded channels: shards are decomposed,
+// solved (enumeration → weighting → ILP) and reduced one at a time, and a
+// token window caps how far production may run ahead of the ordered reduce,
+// so peak memory is O(live shards) — queued + solving + awaiting reduce —
+// regardless of design size.
+//
+// Determinism: partition.Stream yields shards in exactly Decompose order,
+// every result carries its shard index, and the reducer consumes results
+// strictly in index order through a reorder buffer — the same ordered
+// reduce the materialized path runs, so the composition result is
+// byte-identical to it at any worker count. Errors surface as the
+// lowest-index failing shard, like the sequential loop.
+
+// streamWindow bounds produced-but-not-reduced shards for a worker count.
+func streamWindow(workers int) int {
+	w := 4 * workers
+	if w < 16 {
+		w = 16
+	}
+	return w
+}
+
+// raiseMax lifts *peak to at least v.
+func raiseMax(peak *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(peak)
+		if v <= cur || atomic.CompareAndSwapInt64(peak, cur, v) {
+			return
+		}
+	}
+}
+
+// solveStreamed decomposes g and solves every shard through the streaming
+// pipeline, folding outcomes into res in shard index order and returning
+// the selected candidates — the streamed equivalent of Decompose +
+// solveSubgraphs + reduceResults.
+func solveStreamed(
+	d *netlist.Design,
+	g *compat.Graph,
+	ri *regIndex,
+	opts Options,
+	res *Result,
+) ([]candidate, error) {
+	pos := func(n int) geom.Point { return g.Regs[n].ClockPos }
+	var selected []candidate
+	reduceOne := func(sr subgraphResult) {
+		if sr.truncated {
+			res.TruncatedSubgraphs++
+		}
+		res.Candidates += sr.candidates
+		res.ILPNodes += sr.ilpNodes
+		res.ObjectiveSum += sr.objective
+		selected = append(selected, sr.picked...)
+		res.Subgraphs++
+		res.StreamedShards++
+	}
+
+	workers := resolveWorkers(opts.Workers)
+	if workers <= 1 {
+		// Sequential streaming: one live shard, decompose-solve-reduce in
+		// lockstep. Still O(1 shard) peak instead of the materialized list.
+		var firstErr error
+		partition.Stream(len(g.Regs), g.Adj, pos, opts.MaxSubgraphNodes, func(idx int, nodes []int) bool {
+			sr, err := solveSubgraph(d, g, ri, nodes, opts, nil)
+			if err != nil {
+				firstErr = err
+				return false
+			}
+			if sr.candidates > res.PeakLiveCands {
+				res.PeakLiveCands = sr.candidates
+			}
+			reduceOne(sr)
+			return true
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		if res.StreamedShards > 0 {
+			res.PeakLiveShards = 1
+		}
+		return selected, nil
+	}
+
+	type streamJob struct {
+		idx   int
+		nodes []int
+	}
+	type streamDone struct {
+		idx int
+		sr  subgraphResult
+		err error
+	}
+	window := streamWindow(workers)
+	jobs := make(chan streamJob, workers)
+	done := make(chan streamDone, window)
+	tokens := make(chan struct{}, window)
+	stop := make(chan struct{})
+	var liveShards, peakShards, liveCands, peakCands int64
+
+	go func() {
+		defer close(jobs)
+		partition.Stream(len(g.Regs), g.Adj, pos, opts.MaxSubgraphNodes, func(idx int, nodes []int) bool {
+			// The token window is the memory bound: production blocks until
+			// the reduce frees a slot.
+			select {
+			case tokens <- struct{}{}:
+			case <-stop:
+				return false
+			}
+			raiseMax(&peakShards, atomic.AddInt64(&liveShards, 1))
+			select {
+			case jobs <- streamJob{idx: idx, nodes: nodes}:
+				return true
+			case <-stop:
+				return false
+			}
+		})
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				select {
+				case <-stop:
+					// An earlier shard failed; drain without solving.
+					done <- streamDone{idx: j.idx}
+					continue
+				default:
+				}
+				sr, err := solveSubgraph(d, g, ri, j.nodes, opts, nil)
+				if err == nil {
+					raiseMax(&peakCands, atomic.AddInt64(&liveCands, int64(sr.candidates)))
+				}
+				done <- streamDone{idx: j.idx, sr: sr, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Ordered reduce with a reorder buffer: results are consumed strictly in
+	// shard index order, whatever order the workers finish in.
+	pending := make(map[int]streamDone)
+	next := 0
+	var firstErr error
+	for dn := range done {
+		if firstErr != nil {
+			continue // draining after failure
+		}
+		pending[dn.idx] = dn
+		for {
+			p, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if p.err != nil {
+				firstErr = p.err
+				close(stop)
+				break
+			}
+			atomic.AddInt64(&liveCands, -int64(p.sr.candidates))
+			atomic.AddInt64(&liveShards, -1)
+			reduceOne(p.sr)
+			<-tokens
+			next++
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.PeakLiveShards = int(peakShards)
+	res.PeakLiveCands = int(peakCands)
+	return selected, nil
+}

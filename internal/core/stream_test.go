@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestStreamedComposeMatchesMaterialized pins the streaming pipeline's
+// contract: Compose with the streamed batch path (the default) produces
+// exactly the result and design state of the materialized path, at any
+// worker count, with the parallel clique split forced onto every
+// multi-node subgraph. The materialized sequential run is the legacy
+// oracle everything else must match byte for byte.
+func TestStreamedComposeMatchesMaterialized(t *testing.T) {
+	seeds := []int64{11, 12, 13}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			spec := randomSpec(seed)
+			run := func(workers int, disableStreaming bool) string {
+				d, g, plan := genComposeInput(t, spec)
+				opts := DefaultOptions()
+				opts.Workers = workers
+				opts.DisableStreaming = disableStreaming
+				opts.ParallelCliqueThreshold = 2
+				res, err := Compose(d, g, plan, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if disableStreaming && res.StreamedShards != 0 {
+					t.Fatalf("materialized path reported %d streamed shards", res.StreamedShards)
+				}
+				if !disableStreaming && res.StreamedShards != res.Subgraphs {
+					t.Fatalf("streamed %d of %d subgraphs", res.StreamedShards, res.Subgraphs)
+				}
+				return composeSummary(res, d)
+			}
+			want := run(1, true)
+			for _, workers := range []int{1, 2, runtime.NumCPU()} {
+				for _, disable := range []bool{false, true} {
+					if got := run(workers, disable); got != want {
+						t.Fatalf("workers=%d streaming=%v diverged from sequential materialized:\nwant:\n%s\ngot:\n%s",
+							workers, !disable, want, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamedComposeBoundsLiveSet asserts the memory-bound evidence the
+// counters exist for: the streamed path's peak live shard count stays within
+// the token window, and the peak live candidate count stays below the total
+// the run enumerated (i.e. candidates were never all resident at once) on a
+// design with enough subgraphs for the distinction to mean something.
+func TestStreamedComposeBoundsLiveSet(t *testing.T) {
+	spec := randomSpec(21)
+	spec.NumRegs = 400 // enough components to dwarf the streaming window
+	d, g, plan := genComposeInput(t, spec)
+	opts := DefaultOptions()
+	opts.Workers = 4
+	res, err := Compose(d, g, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subgraphs < 20 {
+		t.Skipf("only %d subgraphs; spec too small to exercise the window", res.Subgraphs)
+	}
+	if res.PeakLiveShards <= 0 || res.PeakLiveShards > streamWindow(4) {
+		t.Fatalf("PeakLiveShards = %d, want in (0,%d]", res.PeakLiveShards, streamWindow(4))
+	}
+	if res.Candidates > 0 && res.PeakLiveCands >= res.Candidates {
+		t.Fatalf("PeakLiveCands = %d >= total candidates %d: live set not bounded",
+			res.PeakLiveCands, res.Candidates)
+	}
+}

@@ -71,6 +71,48 @@ func TestParallelDeterminismAllProfiles(t *testing.T) {
 	}
 }
 
+// TestShardedComposeDeterminismAllProfiles is the scheduler's acceptance
+// oracle: on all five benchmark profiles, the work-stealing shard scheduler
+// plus parallel Bron–Kerbosch (forced onto every multi-node subgraph via
+// ParallelCliqueThreshold=2) produce a report byte-identical to the serial
+// path at worker counts {2, NumCPU}. Runs under the -race CI gate.
+func TestShardedComposeDeterminismAllProfiles(t *testing.T) {
+	scale := 150
+	if testing.Short() {
+		scale = 400
+	}
+	run := func(spec bench.Spec, workers int) string {
+		t.Helper()
+		b, err := bench.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.Compose.ParallelCliqueThreshold = 2
+		rep, err := Run(b.Design, b.Plan, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Canonical()
+	}
+	for _, spec := range bench.All(bench.ProfileOpts{Scale: scale}) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			want := run(spec, 1)
+			if want == "" {
+				t.Fatal("empty canonical report")
+			}
+			for _, workers := range []int{2, runtime.NumCPU()} {
+				if got := run(spec, workers); got != want {
+					t.Fatalf("%s: Workers=%d report differs from Workers=1:\n%s",
+						spec.Name, workers, firstDiff(want, got))
+				}
+			}
+		})
+	}
+}
+
 // firstDiff renders the first differing line of two canonical reports.
 func firstDiff(a, b string) string {
 	if a == b {

@@ -1,0 +1,52 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Stream is Decompose without the materialized result: it discovers
+// connected components lazily (in the same smallest-node discovery order),
+// geometric-splits each oversized component, and hands every subgraph to
+// yield as it is produced, with the index it would have in the Decompose
+// slice. yield returning false stops the walk.
+//
+// At any moment only the current component (plus its split parts) is live,
+// so the caller can pipeline subgraphs through enumeration and solving while
+// keeping peak memory proportional to live work instead of the whole
+// decomposition. The (index, nodes) sequence is exactly
+// `for i, sg := range Decompose(n, adj, pos, maxNodes)`.
+func Stream(n int, adj [][]int, pos func(int) geom.Point, maxNodes int, yield func(idx int, nodes []int) bool) {
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	idx := 0
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		stack := []int{s}
+		comp[s] = s
+		var members []int
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, u)
+			for _, v := range adj[u] {
+				if comp[v] == -1 {
+					comp[v] = s
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Ints(members)
+		for _, part := range GeometricSplit(members, pos, maxNodes) {
+			if !yield(idx, part) {
+				return
+			}
+			idx++
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestStreamMatchesDecompose pins the streaming contract: the (index, nodes)
+// sequence Stream yields is exactly ranging over Decompose's result, across
+// random graphs, densities and node bounds.
+func TestStreamMatchesDecompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(120)
+		p := []float64{0.0, 0.02, 0.1, 0.5}[trial%4]
+		adj := make([][]int, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					adj[i] = append(adj[i], j)
+					adj[j] = append(adj[j], i)
+				}
+			}
+		}
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: int64(rng.Intn(10000)), Y: int64(rng.Intn(10000))}
+		}
+		pos := func(i int) geom.Point { return pts[i] }
+		maxNodes := 1 + rng.Intn(40)
+
+		want := Decompose(n, adj, pos, maxNodes)
+		var got [][]int
+		Stream(n, adj, pos, maxNodes, func(idx int, nodes []int) bool {
+			if idx != len(got) {
+				t.Fatalf("trial %d: yield index %d, expected %d", trial, idx, len(got))
+			}
+			got = append(got, append([]int(nil), nodes...))
+			return true
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d p=%.2f max=%d): stream %v != decompose %v",
+				trial, n, p, maxNodes, got, want)
+		}
+	}
+}
+
+// TestStreamEarlyStop checks that yield returning false halts the walk.
+func TestStreamEarlyStop(t *testing.T) {
+	adj := [][]int{{}, {}, {}, {}}
+	pos := func(int) geom.Point { return geom.Point{} }
+	calls := 0
+	Stream(4, adj, pos, 30, func(idx int, nodes []int) bool {
+		calls++
+		return calls < 2
+	})
+	if calls != 2 {
+		t.Fatalf("yield called %d times, want 2", calls)
+	}
+}

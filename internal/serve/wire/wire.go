@@ -104,6 +104,11 @@ type PassStats struct {
 	WarmAccepted       int    `json:"warmAccepted"`
 	WarmRetried        int    `json:"warmRetried"`
 	TightenPruned      int    `json:"tightenPruned"`
+	// Work-stealing shard scheduler (0/0 when the pass ran sequentially).
+	// SchedSteals varies with the goroutine schedule — diagnostics, not
+	// part of any determinism oracle.
+	SchedShards int `json:"schedShards"`
+	SchedSteals int `json:"schedSteals"`
 
 	// Clock-tree engine.
 	CTSKind           string  `json:"ctsKind"`
